@@ -1,0 +1,29 @@
+// Ablation: per-hop router pipeline depth (1..3 extra stages).
+// ARI attacks a *throughput* bottleneck at the injection point, so its
+// benefit should survive deeper (slower) router pipelines — per-hop
+// latency and injection contention are orthogonal.
+#include "bench_util.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Ablation — router pipeline depth (per-hop latency)",
+                "ARI's gain persists across 1/2/3-stage router pipelines");
+  const Config base = make_base_config();
+  const std::vector<std::string> benches = {"bfs", "mummergpu", "srad"};
+
+  TextTable t({"stages", "bfs gain", "mummergpu gain", "srad gain"});
+  for (std::uint32_t stages = 1; stages <= 3; ++stages) {
+    auto tweak = [&](Config& c) { c.router_pipeline_stages = stages; };
+    std::vector<std::string> row = {std::to_string(stages)};
+    for (const auto& b : benches) {
+      const double v0 = run_scheme(base, Scheme::kAdaBaseline, b, tweak).ipc;
+      const double v1 = run_scheme(base, Scheme::kAdaARI, b, tweak).ipc;
+      row.push_back(fmt(v1 / v0, 3) + "x");
+    }
+    t.add_row(row);
+  }
+  std::printf("Ada-ARI IPC / Ada-Baseline IPC at equal pipeline depth\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Ablation: memory-controller placement (diamond vs top/bottom edge vs
+// clustered column). Table I uses the diamond placement "to make a
+// competitive baseline" (Abts et al. ISCA'09); this ablation shows why —
+// and that ARI helps on top of any placement.
+#include "bench_util.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Ablation — MC placement (diamond / top-bottom / column)",
+                "diamond is the competitive baseline; ARI composes with "
+                "every placement");
+  const Config base = make_base_config();
+  const std::vector<std::string> benches = {"bfs", "mummergpu", "srad",
+                                            "hotspot"};
+  const McPlacement placements[] = {
+      McPlacement::kDiamond, McPlacement::kTopBottom, McPlacement::kColumn};
+
+  for (const auto& b : benches) {
+    TextTable t({"placement", "Ada-Baseline IPC", "Ada-ARI IPC", "ARI gain"});
+    for (McPlacement p : placements) {
+      auto placed = [p](Config& c) { c.mc_placement = p; };
+      const double base_ipc =
+          run_scheme(base, Scheme::kAdaBaseline, b, placed).ipc;
+      const double ari_ipc = run_scheme(base, Scheme::kAdaARI, b, placed).ipc;
+      t.add_row({placement_name(p), fmt(base_ipc, 3), fmt(ari_ipc, 3),
+                 fmt(ari_ipc / base_ipc, 3) + "x"});
+    }
+    std::printf("%s\n%s\n", b.c_str(), t.to_string().c_str());
+  }
+  return 0;
+}

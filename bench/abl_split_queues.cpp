@@ -1,0 +1,38 @@
+// Ablation (beyond the paper's figures): number of split NI queues under a
+// fixed total buffer budget (§4.1 says ⌈W/N⌉ queues suffice; fewer may do
+// when the MC does not produce data every cycle).
+#include "bench_util.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Ablation — split NI queue count (k = 1..4, fixed budget)",
+                "k=1 degenerates to the enhanced baseline supply; gains "
+                "saturate once supply matches MC output rate");
+  const Config base = make_base_config();
+  const std::vector<std::string> benches = {"bfs", "kmeans", "srad",
+                                            "blackscholes"};
+
+  std::vector<std::string> headers = {"k"};
+  for (const auto& b : benches) headers.push_back(b);
+  TextTable t(headers);
+
+  std::map<std::string, double> ref;
+  for (const auto& b : benches) {
+    ref[b] = run_scheme(base, Scheme::kAdaBaseline, b).ipc;
+  }
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (const auto& b : benches) {
+      const Metrics m = run_scheme(base, Scheme::kAdaARI, b,
+                                   [&](Config& c) {
+                                     c.split_queues = k;
+                                   });
+      row.push_back(fmt(m.ipc / ref[b], 3));
+    }
+    t.add_row(row);
+  }
+  std::printf("IPC normalized to Ada-Baseline (consumption fixed at S=4)\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

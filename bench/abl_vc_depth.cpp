@@ -1,0 +1,35 @@
+// Ablation: VC buffer depth (packets per VC). Deeper buffers add storage,
+// not injection throughput — the same lesson as Fig. 6's queue-capacity
+// sweep: the baseline's bottleneck is the injection *rate*, so extra VC
+// depth barely helps it, while ARI converts the same buffers into
+// throughput.
+#include "bench_util.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Ablation — VC depth (packets per VC)",
+                "buffering is not bandwidth: deeper VCs barely help the "
+                "baseline");
+  const Config base = make_base_config();
+  const std::vector<std::string> benches = {"bfs", "mummergpu", "srad"};
+
+  TextTable t({"depth(pkts)", "scheme", "bfs", "mummergpu", "srad"});
+  for (std::uint32_t depth = 1; depth <= 3; ++depth) {
+    for (Scheme s : {Scheme::kAdaBaseline, Scheme::kAdaARI}) {
+      std::vector<std::string> row = {std::to_string(depth), scheme_name(s)};
+      for (const auto& b : benches) {
+        const double ref =
+            run_scheme(base, Scheme::kAdaBaseline, b).ipc;  // depth 1.
+        const double v = run_scheme(base, s, b, [&](Config& c) {
+                           c.vc_depth_pkts = depth;
+                         }).ipc;
+        row.push_back(fmt(v / ref, 3));
+      }
+      t.add_row(row);
+    }
+  }
+  std::printf("IPC normalized to Ada-Baseline at depth 1\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "bench_util.hpp"
+
+namespace arinoc::bench {
+
+std::vector<double> run_and_print_normalized(
+    const Config& base, const std::vector<Scheme>& schemes,
+    const std::vector<std::string>& benchmarks, MetricFn fn,
+    const char* metric_name, bool higher_is_better) {
+  // Run everything first.
+  std::map<int, std::vector<double>> values;  // scheme index -> per-bench.
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    for (const auto& b : benchmarks) {
+      const Metrics m = run_scheme(base, schemes[s], b);
+      values[static_cast<int>(s)].push_back(fn(m));
+    }
+  }
+
+  std::vector<std::string> headers = {"benchmark"};
+  for (Scheme s : schemes) headers.push_back(scheme_name(s));
+  TextTable table(headers);
+
+  std::vector<std::vector<double>> ratios(schemes.size());
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    std::vector<std::string> row = {benchmarks[b]};
+    const double baseline = values[0][b];
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const double r = baseline != 0.0 ? values[static_cast<int>(s)][b] /
+                                             baseline
+                                       : 0.0;
+      ratios[s].push_back(r > 0.0 ? r : 1e-6);
+      row.push_back(fmt(r, 3));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> geo_row = {"GEOMEAN"};
+  std::vector<double> geos;
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    const double g = geomean(ratios[s]);
+    geos.push_back(g);
+    geo_row.push_back(fmt(g, 3));
+  }
+  table.add_row(geo_row);
+
+  std::printf("%s (normalized to %s, %s)\n", metric_name,
+              scheme_name(schemes[0]),
+              higher_is_better ? "higher is better" : "lower is better");
+  std::printf("%s\n", table.to_string().c_str());
+  return geos;
+}
+
+}  // namespace arinoc::bench

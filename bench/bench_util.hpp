@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace arinoc::bench {
+
+/// Prints the standard figure banner: what the paper reports, what this
+/// binary regenerates.
+inline void banner(const char* figure, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+/// One metric extracted per (scheme, benchmark) run.
+using MetricFn = double (*)(const Metrics&);
+
+inline double ipc_of(const Metrics& m) { return m.ipc; }
+inline double mc_stall_of(const Metrics& m) {
+  return static_cast<double>(m.mc_stall_cycles);
+}
+
+/// Runs `schemes` x `benchmarks` and prints a table of `fn` normalized to
+/// the first scheme, with a geomean row. Returns the per-scheme geomeans
+/// (same order as `schemes`).
+std::vector<double> run_and_print_normalized(
+    const Config& base, const std::vector<Scheme>& schemes,
+    const std::vector<std::string>& benchmarks, MetricFn fn,
+    const char* metric_name, bool higher_is_better = true);
+
+}  // namespace arinoc::bench

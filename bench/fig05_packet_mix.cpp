@@ -1,0 +1,35 @@
+// Figure 5: relative percentage of the four packet types, flit-weighted.
+// Paper: the reply network carries ~72.7% of all NoC traffic (vs 27.3%),
+// dominated by long read-reply packets.
+#include "bench_util.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Figure 5 — Flit-weighted packet-type mix (XY-Baseline)",
+                "reply network ~72.7% of traffic; read_reply dominates");
+  const Config base = make_base_config();
+
+  TextTable t({"benchmark", "read_req", "write_req", "read_reply",
+               "write_reply", "reply_share"});
+  double reply_share_sum = 0.0;
+  int n = 0;
+  for (const auto& b : all_benchmark_names()) {
+    const Metrics m = run_scheme(base, Scheme::kXYBaseline, b);
+    const double total = static_cast<double>(
+        m.flits_by_type[0] + m.flits_by_type[1] + m.flits_by_type[2] +
+        m.flits_by_type[3]);
+    if (total == 0.0) continue;
+    auto pct = [&](int i) {
+      return static_cast<double>(m.flits_by_type[static_cast<std::size_t>(i)]) / total;
+    };
+    const double reply_share = pct(2) + pct(3);
+    reply_share_sum += reply_share;
+    ++n;
+    t.add_row({b, fmt_pct(pct(0)), fmt_pct(pct(1)), fmt_pct(pct(2)),
+               fmt_pct(pct(3)), fmt_pct(reply_share)});
+  }
+  t.add_row({"MEAN", "", "", "", "", fmt_pct(reply_share_sum / n)});
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 9: IPC improvement vs number of priority levels (bfs, mummergpu).
+// Paper: two levels capture most of the benefit; more levels do not help
+// (far from the injection point, differentiating in-network packets is
+// useless).
+#include "bench_util.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Figure 9 — IPC improvement vs # of priority levels",
+                "2 levels reap most of the benefit (bfs, mummerGPU)");
+  const Config base = make_base_config();
+
+  std::vector<std::string> headers = {"levels"};
+  for (const auto& b : fig9_benchmarks()) headers.push_back(b);
+  TextTable t(headers);
+
+  // Reference: full ARI minus prioritization (Acc-Both-NoPriority).
+  std::map<std::string, double> ref;
+  for (const auto& b : fig9_benchmarks()) {
+    ref[b] = run_scheme(base, Scheme::kAccBothNoPrio, b).ipc;
+  }
+  for (std::uint32_t levels = 1; levels <= 6; ++levels) {
+    std::vector<std::string> row = {std::to_string(levels)};
+    for (const auto& b : fig9_benchmarks()) {
+      const Metrics m = run_scheme(base, Scheme::kAdaARI, b,
+                                   [&](Config& c) {
+                                     c.priority_levels = levels;
+                                   });
+      row.push_back(fmt_pct(m.ipc / ref[b] - 1.0));
+    }
+    t.add_row(row);
+  }
+  std::printf("IPC improvement over Acc-Both-NoPriority\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Section 6.1: ARI area overhead from the analytical model (substitute for
+// the paper's Synopsys DC / NanGate 45nm / Cadence Encounter flow).
+// Paper: ~5.4% per modified NI + MC-router pair; ~0.7% amortized over the
+// whole network.
+#include "bench_util.hpp"
+#include "core/area_model.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Section 6.1 — ARI area overhead (analytical model)",
+                "+5.4% per NI+MC-router pair, +0.7% amortized network-wide");
+  const Config cfg = apply_scheme(make_base_config(), Scheme::kAdaARI);
+  const AreaModel model;
+  const AreaReport r = model.evaluate(cfg);
+
+  TextTable t({"component", "baseline (um^2)", "ARI (um^2)", "delta"});
+  t.add_row({"MC-router", fmt(r.baseline_router_um2, 0),
+             fmt(r.ari_router_um2, 0),
+             fmt_pct(r.ari_router_um2 / r.baseline_router_um2 - 1.0)});
+  t.add_row({"MC reply NI", fmt(r.baseline_ni_um2, 0), fmt(r.ari_ni_um2, 0),
+             fmt_pct(r.ari_ni_um2 / r.baseline_ni_um2 - 1.0)});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("NI + MC-router pair overhead : %.1f%%  (paper: 5.4%%)\n",
+              r.pair_overhead_pct);
+  std::printf("amortized network overhead   : %.2f%% (paper: 0.7%%)\n",
+              r.network_overhead_pct);
+  std::printf("\nstructural deltas modeled: +%u crossbar input columns, "
+              "split NI queues (+muxes), wide intra-tile links, %u narrow "
+              "injection links\n",
+              cfg.injection_speedup - 1, cfg.split_queues);
+  return 0;
+}

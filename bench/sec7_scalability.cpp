@@ -1,0 +1,44 @@
+// Section 7.5(2): scalability over mesh sizes.
+// Paper: ARI's IPC improvement grows with network size — +3.7% (4x4),
+// +15.4% (6x6), +24.7% (8x8) — NoC latency/throughput matter more in
+// bigger chips.
+#include "bench_util.hpp"
+#include "workloads/suite.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Section 7.5(2) — Scalability (4x4 / 6x6 / 8x8)",
+                "ARI improvement grows with mesh size: +3.7% / +15.4% / "
+                "+24.7%");
+  const Config base = make_base_config();
+  // The high+medium sensitivity mix drives the comparison; low-sensitivity
+  // benchmarks dilute all sizes equally.
+  std::vector<std::string> mix = benchmarks_with(Sensitivity::kHigh);
+  for (const auto& b : benchmarks_with(Sensitivity::kMedium)) {
+    mix.push_back(b);
+  }
+
+  TextTable t({"mesh", "ccs", "mcs", "Ada-Baseline geo-IPC",
+               "Ada-ARI geo-IPC", "ARI gain"});
+  for (std::uint32_t k : {4u, 6u, 8u}) {
+    // Scale the MC count with the mesh so the CC:MC ratio (the
+    // few-to-many pattern driving the bottleneck) stays ~3.5:1.
+    const std::uint32_t mcs = static_cast<std::uint32_t>(k * k / 4.5 + 0.5);
+    auto sized = [&](Config& c) {
+      c.mesh_width = c.mesh_height = k;
+      c.num_mcs = mcs;
+    };
+    std::vector<double> b_ipc, a_ipc;
+    for (const auto& b : mix) {
+      b_ipc.push_back(run_scheme(base, Scheme::kAdaBaseline, b, sized).ipc);
+      a_ipc.push_back(run_scheme(base, Scheme::kAdaARI, b, sized).ipc);
+    }
+    const double gb = geomean(b_ipc), ga = geomean(a_ipc);
+    t.add_row({std::to_string(k) + "x" + std::to_string(k),
+               std::to_string(k * k - mcs), std::to_string(mcs), fmt(gb, 3),
+               fmt(ga, 3), fmt_pct(ga / gb - 1.0)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("shape check: the 'ARI gain' column increases with size.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table I: the evaluation configuration (printed from the live Config so
+// any drift between code and documentation is visible).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace arinoc;
+  bench::banner("Table I — Key Parameters for Evaluation",
+                "28 CCs, 8 MCs (FR-FCFS, diamond), 6x6 mesh, 4 VCs x 1 pkt, "
+                "128-bit links, 36-flit NI queue, GTX980 GDDR5 timings");
+  const Config cfg = make_base_config();
+  std::printf("%s\n", cfg.table1().c_str());
+  std::printf("derived: long reply packet = %u flits, VC depth = %u flits, "
+              "bisection links = %u\n",
+              cfg.reply_long_flits(), cfg.vc_depth_flits_reply(),
+              2 * cfg.mesh_height);
+  return 0;
+}

@@ -1,0 +1,176 @@
+// arinoc_sim — the command-line simulator driver.
+//
+//   arinoc_sim [options]
+//     --benchmark <name>      synthetic workload (default: bfs)
+//     --trace <file>          trace-file workload (overrides --benchmark)
+//     --scheme <name>         XY-Baseline | XY-ARI | Ada-Baseline |
+//                             Ada-MultiPort | Ada-ARI | Acc-Supply |
+//                             Acc-Consume | Acc-Both-NoPriority |
+//                             Raw-Baseline          (default: Ada-ARI)
+//     --mesh <k>              k x k mesh             (default: 6)
+//     --mcs <n>               memory controllers     (default: 8)
+//     --vcs <n>               virtual channels       (default: 4)
+//     --cycles <n>            measured cycles        (default: 8000)
+//     --warmup <n>            warmup cycles          (default: 2000)
+//     --seed <n>              RNG seed               (default: 1)
+//     --da2mesh               use the DA2mesh overlay reply fabric
+//     --placement <p>         diamond | top-bottom | column
+//     --json                  machine-readable metrics on stdout
+//     --list-benchmarks       print the 30-benchmark suite and exit
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/tracefile.hpp"
+
+using namespace arinoc;
+
+namespace {
+
+std::optional<Scheme> parse_scheme(const std::string& name) {
+  for (Scheme s :
+       {Scheme::kXYBaseline, Scheme::kXYARI, Scheme::kAdaBaseline,
+        Scheme::kAdaMultiPort, Scheme::kAdaARI, Scheme::kAccSupply,
+        Scheme::kAccConsume, Scheme::kAccBothNoPrio, Scheme::kRawBaseline}) {
+    if (name == scheme_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+void print_human(const Metrics& m) {
+  TextTable t({"metric", "value"});
+  t.add_row({"cycles", std::to_string(m.cycles)});
+  t.add_row({"IPC (warp instr/cycle)", fmt(m.ipc)});
+  t.add_row({"request packet latency", fmt(m.request_latency, 1)});
+  t.add_row({"reply packet latency", fmt(m.reply_latency, 1)});
+  t.add_row({"MC stall cycles", std::to_string(m.mc_stall_cycles)});
+  t.add_row({"reply injection link util", fmt(m.reply_injection_util)});
+  t.add_row({"reply in-network link util", fmt(m.reply_internal_util)});
+  t.add_row({"NI occupancy (pkts)", fmt(m.ni_occupancy_pkts, 1)});
+  t.add_row({"L1 / L2 hit rate", fmt_pct(m.l1_hit_rate) + " / " +
+                                     fmt_pct(m.l2_hit_rate)});
+  t.add_row({"DRAM row hit rate", fmt_pct(m.dram_row_hit_rate)});
+  t.add_row({"energy (nJ)", fmt(m.energy.total_nj(), 0)});
+  std::printf("%s", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string benchmark = "bfs";
+  std::string trace_path;
+  Scheme scheme = Scheme::kAdaARI;
+  Config cfg = make_base_config();
+  bool da2mesh = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--benchmark") {
+      benchmark = value();
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--scheme") {
+      const std::string name = value();
+      const auto s = parse_scheme(name);
+      if (!s) {
+        std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+        return 2;
+      }
+      scheme = *s;
+    } else if (arg == "--mesh") {
+      cfg.mesh_width = cfg.mesh_height =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--mcs") {
+      cfg.num_mcs =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--vcs") {
+      cfg.num_vcs =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--cycles") {
+      cfg.run_cycles = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--warmup") {
+      cfg.warmup_cycles = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--da2mesh") {
+      da2mesh = true;
+    } else if (arg == "--placement") {
+      const std::string p = value();
+      if (p == "diamond") {
+        cfg.mc_placement = McPlacement::kDiamond;
+      } else if (p == "top-bottom") {
+        cfg.mc_placement = McPlacement::kTopBottom;
+      } else if (p == "column") {
+        cfg.mc_placement = McPlacement::kColumn;
+      } else {
+        std::fprintf(stderr, "unknown placement '%s'\n", p.c_str());
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-benchmarks") {
+      for (const auto& b : benchmark_suite()) {
+        std::printf("%-16s %s\n", b.name.c_str(),
+                    sensitivity_name(b.sensitivity));
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  cfg = apply_scheme(cfg, scheme);
+  const std::string err = cfg.validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
+    return 2;
+  }
+
+  Metrics m;
+  if (!trace_path.empty()) {
+    try {
+      Trace trace = Trace::load(trace_path);
+      TraceFileSource source(std::move(trace), cfg.num_ccs(),
+                             cfg.warps_per_core, cfg.line_bytes);
+      GpgpuSim sim(cfg, &source, da2mesh);
+      sim.run_with_warmup();
+      m = sim.collect();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    const BenchmarkTraits* traits = find_benchmark(benchmark);
+    if (traits == nullptr) {
+      std::fprintf(stderr,
+                   "unknown benchmark '%s' (see --list-benchmarks)\n",
+                   benchmark.c_str());
+      return 2;
+    }
+    GpgpuSim sim(cfg, *traits, da2mesh);
+    sim.run_with_warmup();
+    m = sim.collect();
+  }
+
+  if (json) {
+    std::printf("%s\n", metrics_to_json(m).c_str());
+  } else {
+    std::printf("scheme: %s   workload: %s\n", scheme_name(scheme),
+                trace_path.empty() ? benchmark.c_str() : trace_path.c_str());
+    print_human(m);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Defining a custom workload: build BenchmarkTraits by hand (as a user
+// would for their own application's traffic signature), sweep its memory
+// intensity, and watch the reply-injection bottleneck appear — then check
+// how much of it ARI recovers.
+//
+//   ./custom_workload
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/gpgpu_sim.hpp"
+#include "core/report.hpp"
+
+using namespace arinoc;
+
+namespace {
+
+Metrics run_traits(const Config& base, Scheme scheme,
+                   const BenchmarkTraits& traits) {
+  Config cfg = apply_scheme(base, scheme);
+  GpgpuSim sim(cfg, traits);
+  sim.run_with_warmup();
+  return sim.collect();
+}
+
+}  // namespace
+
+int main() {
+  Config base = make_base_config();
+
+  // A synthetic "graph-analytics-like" application: irregular (poorly
+  // coalesced), read-dominated, large working set, little reuse.
+  BenchmarkTraits app;
+  app.name = "my-graph-app";
+  app.sensitivity = Sensitivity::kHigh;
+  app.store_frac = 0.08;
+  app.locality = 0.18;
+  app.stream_frac = 0.2;
+  app.shared_frac = 0.35;
+  app.lines_mean = 2.8;
+  app.working_set_kb = 1024;
+
+  std::printf("sweeping memory intensity of a custom workload\n\n");
+  TextTable t({"mem_ratio", "base IPC", "ARI IPC", "gain", "base MC stall",
+               "ARI MC stall", "reply inj util (base)"});
+  for (double ratio : {0.05, 0.15, 0.25, 0.35, 0.45}) {
+    app.mem_ratio = ratio;
+    const Metrics b = run_traits(base, Scheme::kAdaBaseline, app);
+    const Metrics a = run_traits(base, Scheme::kAdaARI, app);
+    t.add_row({fmt(ratio, 2), fmt(b.ipc, 3), fmt(a.ipc, 3),
+               fmt(a.ipc / b.ipc, 3) + "x", std::to_string(b.mc_stall_cycles),
+               std::to_string(a.mc_stall_cycles),
+               fmt(b.reply_injection_util, 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "reading the table: as memory intensity grows, the baseline's reply\n"
+      "injection link saturates (util -> ~1), MC stalls explode, and the\n"
+      "ARI gain widens — the paper's core claim on a workload you define.\n");
+  return 0;
+}

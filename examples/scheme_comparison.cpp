@@ -1,0 +1,56 @@
+// Scheme comparison on a user-selected benchmark mix: runs all five
+// evaluated schemes (paper §6.2) plus the Fig.-10 ablations and prints a
+// compact report — the programmatic equivalent of skimming Figs. 10-13.
+//
+//   ./scheme_comparison [bench1 bench2 ...]
+//
+// Default mix: one benchmark per NoC-sensitivity class.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workloads/benchmark.hpp"
+#include "workloads/suite.hpp"
+
+using namespace arinoc;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> benches;
+  for (int i = 1; i < argc; ++i) {
+    if (find_benchmark(argv[i]) == nullptr) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", argv[i]);
+      return 1;
+    }
+    benches.push_back(argv[i]);
+  }
+  if (benches.empty()) benches = quick_benchmarks();
+
+  const Config base = make_base_config();
+  const std::vector<Scheme> schemes = {
+      Scheme::kXYBaseline,   Scheme::kXYARI,      Scheme::kAdaBaseline,
+      Scheme::kAdaMultiPort, Scheme::kAccSupply,  Scheme::kAccConsume,
+      Scheme::kAccBothNoPrio, Scheme::kAdaARI};
+
+  for (const auto& b : benches) {
+    const BenchmarkTraits* traits = find_benchmark(b);
+    std::printf("=== %s (%s NoC sensitivity, mem ratio %.2f) ===\n",
+                b.c_str(), sensitivity_name(traits->sensitivity),
+                traits->mem_ratio);
+    TextTable t({"scheme", "IPC", "vs XY-Base", "MC stall", "req lat",
+                 "reply lat"});
+    double ref_ipc = 0.0;
+    for (Scheme s : schemes) {
+      const Metrics m = run_scheme(base, s, b);
+      if (s == Scheme::kXYBaseline) ref_ipc = m.ipc;
+      t.add_row({scheme_name(s), fmt(m.ipc, 3),
+                 fmt(ref_ipc > 0 ? m.ipc / ref_ipc : 1.0, 3) + "x",
+                 std::to_string(m.mc_stall_cycles),
+                 fmt(m.request_latency, 1), fmt(m.reply_latency, 1)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Parameter sweeps to CSV: the plot-making workflow. Sweeps the injection
+// crossbar speedup and emits one CSV row per (point, scheme, benchmark) —
+// pipe into your plotting tool of choice.
+//
+//   ./sweep_csv > speedup_sweep.csv
+#include <algorithm>
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+
+using namespace arinoc;
+
+int main() {
+  std::vector<SweepPoint> points;
+  for (std::uint32_t s = 1; s <= 4; ++s) {
+    points.push_back({"S=" + std::to_string(s), [s](Config& c) {
+                        c.injection_speedup = std::min(s, c.num_vcs);
+                      }});
+  }
+  const auto cells = Sweep(make_base_config())
+                         .over(points)
+                         .schemes({Scheme::kAdaARI})
+                         .benchmarks({"bfs", "kmeans", "hotspot"})
+                         .run();
+  std::fputs(Sweep::to_csv(cells).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "common/config.hpp"
+
+#include <sstream>
+
+namespace arinoc {
+
+std::string Config::validate() const {
+  std::ostringstream err;
+  if (mesh_width == 0 || mesh_height == 0) err << "mesh dims must be > 0; ";
+  if (num_mcs == 0 || num_mcs >= num_nodes())
+    err << "num_mcs must be in (0, nodes); ";
+  if (num_vcs == 0) err << "num_vcs must be > 0; ";
+  if (injection_speedup == 0) err << "injection_speedup must be > 0; ";
+  if (injection_speedup > num_vcs)
+    err << "injection_speedup must be <= num_vcs (Eq.2); ";
+  if (split_queues == 0) err << "split_queues must be > 0; ";
+  if (split_queues > num_vcs) err << "split_queues must be <= num_vcs; ";
+  if (priority_levels == 0) err << "priority_levels must be > 0; ";
+  if (ni_queue_flits < reply_long_flits())
+    err << "NI queue must hold at least one long packet; ";
+  if (line_bytes * 8 != data_payload_bits)
+    err << "line_bytes must equal data_payload_bits/8; ";
+  if (multiport_ports == 0) err << "multiport_ports must be > 0; ";
+  if (router_pipeline_stages == 0 || router_pipeline_stages > 4)
+    err << "router_pipeline_stages must be in [1, 4]; ";
+  if (warps_per_core == 0) err << "warps_per_core must be > 0; ";
+  if (dram_banks == 0) err << "dram_banks must be > 0; ";
+  return err.str();
+}
+
+std::string Config::table1() const {
+  std::ostringstream os;
+  os << "Table I. Key Parameters for Evaluation\n"
+     << "  Compute Nodes          : " << num_ccs() << "\n"
+     << "  Memory Controllers     : " << num_mcs << ", FR-FCFS\n"
+     << "  Warp Size              : " << warp_size << "\n"
+     << "  SIMD Pipeline Width    : " << simd_width << "\n"
+     << "  Warps / Core           : " << warps_per_core << "\n"
+     << "  L1 Cache Size / Core   : " << l1_size_bytes / 1024 << "KB\n"
+     << "  L2 Cache Size / MC     : " << l2_size_bytes / 1024 << "KB\n"
+     << "  Warp Scheduling        : Greedy-then-oldest\n"
+     << "  MC placement           : Diamond\n"
+     << "  GDDR5 Timing           : tRP=" << t_rp << " tRC=" << t_rc
+     << " tRRD=" << t_rrd << " tRAS=" << t_ras << " tRCD=" << t_rcd
+     << " tCL=" << t_cl << "\n"
+     << "  Memory Clock           : " << mem_clock_ratio << " GHz (GTX980)\n"
+     << "  Topology               : 2D Mesh " << mesh_width << "x"
+     << mesh_height << "\n"
+     << "  Routing                : "
+     << (routing == RoutingAlgo::kXY ? "XY" : "Min. adaptive") << "\n"
+     << "  Interconnect/L2 Clock  : 1 GHz\n"
+     << "  Virtual channels       : " << num_vcs << " per port, "
+     << vc_depth_pkts << " pkt per VC\n"
+     << "  Allocator              : Separable Input First\n"
+     << "  Link bandwidth         : " << link_width_bits_reply
+     << " bit/cycle\n"
+     << "  NI injection queue     : " << ni_queue_flits << " flits\n";
+  return os.str();
+}
+
+Config apply_scheme(Config base, Scheme scheme) {
+  // All evaluated schemes build on the enhanced baseline (paper §4.1 uses it
+  // "to avoid giving unfair advantage to our proposed design").
+  base.mc_ni_link = McNiLink::kWide;
+  base.reply_ni = NiArch::kEnhanced;
+  base.injection_speedup = 1;
+  base.priority_levels = 1;
+  switch (scheme) {
+    case Scheme::kRawBaseline:
+      base.mc_ni_link = McNiLink::kNarrow;
+      base.reply_ni = NiArch::kBaseline;
+      base.routing = RoutingAlgo::kXY;
+      break;
+    case Scheme::kXYBaseline:
+      base.routing = RoutingAlgo::kXY;
+      break;
+    case Scheme::kXYARI:
+      base.routing = RoutingAlgo::kXY;
+      base.reply_ni = NiArch::kSplitQueue;
+      base.injection_speedup = std::min(4u, base.num_vcs);
+      base.split_queues = std::min(4u, base.num_vcs);
+      base.priority_levels = 2;
+      break;
+    case Scheme::kAdaBaseline:
+      base.routing = RoutingAlgo::kMinAdaptive;
+      break;
+    case Scheme::kAdaMultiPort:
+      base.routing = RoutingAlgo::kMinAdaptive;
+      base.reply_ni = NiArch::kMultiPort;
+      break;
+    case Scheme::kAdaARI:
+      base.routing = RoutingAlgo::kMinAdaptive;
+      base.reply_ni = NiArch::kSplitQueue;
+      base.injection_speedup = std::min(4u, base.num_vcs);
+      base.split_queues = std::min(4u, base.num_vcs);
+      base.priority_levels = 2;
+      break;
+    case Scheme::kAccSupply:
+      base.routing = RoutingAlgo::kMinAdaptive;
+      base.reply_ni = NiArch::kSplitQueue;
+      base.split_queues = std::min(4u, base.num_vcs);
+      break;
+    case Scheme::kAccConsume:
+      base.routing = RoutingAlgo::kMinAdaptive;
+      base.injection_speedup = std::min(4u, base.num_vcs);
+      break;
+    case Scheme::kAccBothNoPrio:
+      base.routing = RoutingAlgo::kMinAdaptive;
+      base.reply_ni = NiArch::kSplitQueue;
+      base.split_queues = std::min(4u, base.num_vcs);
+      base.injection_speedup = std::min(4u, base.num_vcs);
+      break;
+  }
+  return base;
+}
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kXYBaseline: return "XY-Baseline";
+    case Scheme::kXYARI: return "XY-ARI";
+    case Scheme::kAdaBaseline: return "Ada-Baseline";
+    case Scheme::kAdaMultiPort: return "Ada-MultiPort";
+    case Scheme::kAdaARI: return "Ada-ARI";
+    case Scheme::kAccSupply: return "Acc-Supply";
+    case Scheme::kAccConsume: return "Acc-Consume";
+    case Scheme::kAccBothNoPrio: return "Acc-Both-NoPriority";
+    case Scheme::kRawBaseline: return "Raw-Baseline";
+  }
+  return "?";
+}
+
+}  // namespace arinoc

@@ -1,0 +1,21 @@
+#include "common/log.hpp"
+
+namespace arinoc {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  const char* tag = level == LogLevel::kInfo    ? "info"
+                    : level == LogLevel::kDebug ? "debug"
+                                                : "trace";
+  std::fprintf(stderr, "[arinoc:%s] %s\n", tag, msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace arinoc

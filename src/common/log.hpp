@@ -1,0 +1,38 @@
+// Minimal leveled logging. Off by default so hot simulation loops pay only a
+// branch; enabled by tests/examples that want traces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace arinoc {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Process-wide log level (single-threaded simulator; plain global is fine).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  if (log_level() >= LogLevel::kInfo) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    detail::log_line(LogLevel::kInfo, buf);
+  }
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  if (log_level() >= LogLevel::kDebug) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    detail::log_line(LogLevel::kDebug, buf);
+  }
+}
+
+}  // namespace arinoc

@@ -1,0 +1,31 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace arinoc {
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+ClockRatio::ClockRatio(double ratio)
+    : step_q32_(static_cast<std::uint64_t>(ratio * 4294967296.0)) {}
+
+std::uint32_t ClockRatio::ticks_this_cycle() {
+  accum_ += step_q32_;
+  const auto ticks = static_cast<std::uint32_t>(accum_ >> 32);
+  accum_ &= 0xffffffffull;
+  return ticks;
+}
+
+}  // namespace arinoc

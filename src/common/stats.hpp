@@ -1,0 +1,58 @@
+// Lightweight statistics helpers used by instrumentation and the benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace arinoc {
+
+/// Online accumulator for a scalar sample stream (mean/min/max/count).
+class Accumulator {
+ public:
+  void add(double x) {
+    if (count_ == 0 || x < min_) min_ = x;
+    if (count_ == 0 || x > max_) max_ = x;
+    sum_ += x;
+    ++count_;
+  }
+  void reset() { *this = Accumulator{}; }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values (paper reports geomeans).
+double geomean(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Fixed-ratio clock-domain ticker: converts NoC cycles into a faster
+/// domain (e.g. 1.75 GHz GDDR5 against the 1 GHz interconnect clock).
+/// Integer fixed-point so the schedule is exactly reproducible.
+class ClockRatio {
+ public:
+  /// ratio = fast-domain frequency / slow-domain frequency, e.g. 1.75.
+  explicit ClockRatio(double ratio);
+
+  /// Number of fast-domain ticks to execute for this slow-domain cycle.
+  std::uint32_t ticks_this_cycle();
+
+  void reset() { accum_ = 0; }
+
+ private:
+  std::uint64_t step_q32_;  ///< ratio in Q32 fixed point.
+  std::uint64_t accum_ = 0;
+};
+
+}  // namespace arinoc

@@ -1,0 +1,30 @@
+// Fundamental scalar types and small helpers shared across arinoc.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace arinoc {
+
+/// Simulation time in interconnect-clock cycles (1 GHz domain).
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated global memory space.
+using Addr = std::uint64_t;
+
+/// Node index within a mesh (row-major, 0 .. nodes-1).
+using NodeId = std::int32_t;
+
+/// Monotonically increasing packet identifier within one network.
+using PacketId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr PacketId kInvalidPacket =
+    std::numeric_limits<PacketId>::max();
+
+/// Ceiling division for positive integers.
+constexpr std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,123 @@
+#include "core/analyzer.hpp"
+
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace arinoc {
+
+std::string BottleneckReport::to_string() const {
+  std::ostringstream os;
+  os << "bottleneck verdict: " << verdict << "\n";
+  for (const ResourceUsage& r : resources) {
+    os << "  " << (r.utilization >= 1.0 ? "!" : " ") << " ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%", r.utilization * 100.0);
+    os << buf << "  " << r.name;
+    if (!r.detail.empty()) os << "  (" << r.detail << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+BottleneckReport BottleneckAnalyzer::analyze(
+    const Config& cfg, const BenchmarkTraits& traits) const {
+  GpgpuSim sim(cfg, traits);
+  sim.run_with_warmup();
+  return diagnose(sim);
+}
+
+BottleneckReport BottleneckAnalyzer::diagnose(GpgpuSim& sim) const {
+  const Config& cfg = sim.config();
+  const Metrics m = sim.collect();
+  const double cycles = m.cycles ? static_cast<double>(m.cycles) : 1.0;
+  const double n_mcs = static_cast<double>(sim.num_mcs());
+  const double n_ccs = static_cast<double>(sim.num_cores());
+
+  BottleneckReport rep;
+  rep.metrics = m;
+  auto add = [&](std::string name, double util, std::string detail) {
+    rep.resources.push_back({std::move(name), util, std::move(detail)});
+  };
+
+  // 1) Core issue width: one warp instruction per warp_size/simd_width
+  //    cycles per core.
+  const double issue_cap = static_cast<double>(cfg.simd_width) /
+                           static_cast<double>(cfg.warp_size);
+  add("core issue width", (m.ipc / n_ccs) / issue_cap,
+      "IPC/core " + fmt(m.ipc / n_ccs, 3) + " of " + fmt(issue_cap, 3));
+
+  // 2) Request injection links (CC NI -> router, 1 flit/cycle each).
+  add("request injection links", m.request_injection_util,
+      fmt(m.request_injection_util, 3) + " flit/cycle");
+
+  // 3) Request in-network links.
+  add("request network links", m.request_internal_util, "");
+
+  // 4) MC request ejection (drain rate flits/cycle each).
+  double req_ejected = 0;
+  for (std::size_t i = 0; i < sim.num_mcs(); ++i) {
+    req_ejected += static_cast<double>(
+        sim.request_net().router(sim.mesh().mc_nodes()[i]).flits_ejected());
+  }
+  add("MC request ejection",
+      req_ejected / cycles / n_mcs / cfg.mc_eject_flits_per_cycle,
+      fmt(req_ejected / cycles / n_mcs, 2) + " flit/cycle of " +
+          std::to_string(cfg.mc_eject_flits_per_cycle));
+
+  // 5) L2 bank service (one request per cycle per MC).
+  double served = 0;
+  double dram_act = 0, dram_acc = 0;
+  for (std::size_t i = 0; i < sim.num_mcs(); ++i) {
+    served += static_cast<double>(sim.mc(i).requests_served());
+    dram_act += static_cast<double>(sim.mc(i).dram().activates());
+    dram_acc += static_cast<double>(sim.mc(i).dram().accesses());
+  }
+  add("L2 bank service", served / cycles / n_mcs,
+      fmt(served / cycles / n_mcs, 2) + " req/cycle");
+
+  // 6) DRAM activate rate (tRRD-bound) and data bus (burst-bound), in NoC
+  //    cycles via the memory clock ratio.
+  const double act_cap = cfg.mem_clock_ratio / cfg.t_rrd;
+  add("DRAM activate rate (tRRD)", dram_act / cycles / n_mcs / act_cap,
+      fmt(dram_act / cycles / n_mcs, 3) + " of " + fmt(act_cap, 3) +
+          " ACT/cycle");
+  const double bus_cap = cfg.mem_clock_ratio / cfg.burst_cycles;
+  add("DRAM data bus", dram_acc / cycles / n_mcs / bus_cap,
+      fmt(dram_acc / cycles / n_mcs, 3) + " of " + fmt(bus_cap, 3) +
+          " access/cycle");
+
+  // 7) Reply injection links: capacity depends on the NI architecture.
+  const double inj_links = cfg.reply_ni == NiArch::kSplitQueue
+                               ? static_cast<double>(cfg.split_queues)
+                               : 1.0;
+  add("reply injection links", m.reply_injection_util / inj_links,
+      fmt(m.reply_injection_util, 3) + " flit/cycle over " +
+          fmt(inj_links, 0) + " link(s)");
+
+  // 8) Reply in-network links and CC ejection.
+  add("reply network links", m.reply_internal_util, "");
+  if (!sim.has_overlay()) {
+    double rep_ejected = 0;
+    for (NodeId cc : sim.mesh().cc_nodes()) {
+      rep_ejected +=
+          static_cast<double>(sim.reply_net().router(cc).flits_ejected());
+    }
+    add("CC reply ejection", rep_ejected / cycles / n_ccs, "");
+  }
+
+  std::stable_sort(rep.resources.begin(), rep.resources.end(),
+                   [](const ResourceUsage& a, const ResourceUsage& b) {
+                     return a.utilization > b.utilization;
+                   });
+  if (rep.resources.front().utilization >= threshold_) {
+    rep.verdict = rep.resources.front().name;
+  } else {
+    rep.verdict = "latency-bound (no resource above " +
+                  fmt_pct(threshold_, 0) + ")";
+  }
+  return rep;
+}
+
+}  // namespace arinoc

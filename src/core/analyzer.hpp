@@ -1,0 +1,58 @@
+// Bottleneck analyzer: the paper's Section-3 diagnosis methodology as a
+// reusable tool. Runs a configured system, measures the utilization of
+// every throughput-limited resource along the end-to-end path (Fig. 2), and
+// names the binding constraint:
+//
+//   core issue width -> request NI/links -> MC request ejection -> L2 bank
+//   -> DRAM (activate rate / data bus) -> MC reply forwarding -> reply NI
+//   injection links -> reply network links -> CC ejection.
+//
+// The "reply injection" verdict on a baseline system is exactly the paper's
+// §3 finding; after applying ARI the verdict moves elsewhere (usually DRAM
+// or core issue), which is how a user checks that the bottleneck was in
+// fact removed and not merely shifted within the NoC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/gpgpu_sim.hpp"
+#include "workloads/benchmark.hpp"
+
+namespace arinoc {
+
+/// One resource's utilization relative to its capacity (0..1+).
+struct ResourceUsage {
+  std::string name;
+  double utilization = 0.0;  ///< Fraction of theoretical capacity.
+  std::string detail;        ///< Human-readable evidence.
+};
+
+struct BottleneckReport {
+  std::vector<ResourceUsage> resources;  ///< Sorted, most-utilized first.
+  /// The diagnosed binding constraint (resources[0] if above threshold).
+  std::string verdict;
+  Metrics metrics;
+
+  std::string to_string() const;
+};
+
+class BottleneckAnalyzer {
+ public:
+  /// Utilization above which a resource is considered saturated.
+  explicit BottleneckAnalyzer(double saturation_threshold = 0.85)
+      : threshold_(saturation_threshold) {}
+
+  /// Runs the benchmark under `cfg` and diagnoses the binding resource.
+  BottleneckReport analyze(const Config& cfg,
+                           const BenchmarkTraits& traits) const;
+
+  /// Diagnoses from an already-run simulator (no extra simulation).
+  BottleneckReport diagnose(GpgpuSim& sim) const;
+
+ private:
+  double threshold_;
+};
+
+}  // namespace arinoc

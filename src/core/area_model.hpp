@@ -1,0 +1,61 @@
+// Analytical area model standing in for the paper's RTL flow (§6.1,
+// Synopsys DC + NanGate 45 nm + Cadence Encounter).
+//
+// Structures are costed from first principles at 45 nm-class magnitudes:
+// SRAM buffer bits, a wire-dominated crossbar that grows with switch input
+// columns (ARI's injection speedup adds S-1 of them at MC-routers), link
+// drivers, allocator/control logic, NI queues and the ARI additions (split
+// queue muxes, wide intra-tile links, extra narrow injection links).
+// The paper reports ~5.4% per modified NI + MC-router pair and ~0.7%
+// amortized over the whole network; the model reproduces those relative
+// magnitudes from the same structural deltas.
+#pragma once
+
+#include "common/config.hpp"
+
+namespace arinoc {
+
+struct AreaParams {
+  double sram_um2_per_bit = 1.2;
+  double xbar_coeff = 0.25;        ///< Scales (Pin*W*pitch)*(Pout*W*pitch).
+  double wire_pitch_um = 0.14;
+  double logic_fraction = 0.25;    ///< Allocators/control vs datapath.
+  double link_driver_um2 = 4000;   ///< Per router port.
+  double ni_logic_um2 = 16000;     ///< Packetization/reassembly core logic.
+  double mux_um2 = 200;            ///< Per added mux/demux.
+  double intra_tile_wire_um = 6;   ///< Length of widened MC-NI-router wires.
+};
+
+struct AreaReport {
+  double baseline_router_um2 = 0;
+  double ari_router_um2 = 0;
+  double baseline_ni_um2 = 0;
+  double ari_ni_um2 = 0;
+  /// (ARI pair - baseline pair) / baseline pair, percent (paper: ~5.4%).
+  double pair_overhead_pct = 0;
+  /// Amortized over both networks' routers + NIs, percent (paper: <1%).
+  double network_overhead_pct = 0;
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(const AreaParams& params = {}) : p_(params) {}
+
+  /// Router area for the given port/VC/buffer geometry.
+  double router_um2(std::uint32_t switch_inputs, std::uint32_t outputs,
+                    std::uint32_t input_ports, std::uint32_t vcs,
+                    std::uint32_t vc_depth_flits,
+                    std::uint32_t flit_bits) const;
+  /// NI area; `split_queues` > 1 adds distribution muxes and extra narrow
+  /// links; `wide_links` counts W-bit intra-tile links.
+  double ni_um2(std::uint32_t queue_flits, std::uint32_t flit_bits,
+                std::uint32_t split_queues, std::uint32_t wide_links,
+                std::uint32_t narrow_links, std::uint32_t wide_bits) const;
+
+  AreaReport evaluate(const Config& cfg) const;
+
+ private:
+  AreaParams p_;
+};
+
+}  // namespace arinoc

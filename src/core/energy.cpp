@@ -1,0 +1,22 @@
+#include "core/energy.hpp"
+
+namespace arinoc {
+
+EnergyBreakdown EnergyModel::evaluate(const ActivityCounters& c) const {
+  EnergyBreakdown e;
+  e.dynamic_noc_nj = static_cast<double>(c.noc_link_flits) * p_.link_flit_nj +
+                     static_cast<double>(c.noc_buffer_ops) * p_.buffer_op_nj +
+                     static_cast<double>(c.noc_crossbar) * p_.crossbar_nj;
+  e.dynamic_mem_nj =
+      static_cast<double>(c.dram_activates) * p_.dram_activate_nj +
+      static_cast<double>(c.dram_accesses) * p_.dram_access_nj +
+      static_cast<double>(c.l2_accesses) * p_.l2_access_nj;
+  e.dynamic_core_nj =
+      static_cast<double>(c.l1_accesses) * p_.l1_access_nj +
+      static_cast<double>(c.core_instructions) * p_.instruction_nj;
+  // 1 cycle @ 1 GHz = 1 ns; P[W] * t[ns] = E[nJ].
+  e.static_nj = p_.static_w * static_cast<double>(c.cycles);
+  return e;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,63 @@
+// Activity-counter energy model (substitute for GPUWattch + Cadence power,
+// paper §7.5(1)). Per-event dynamic energies at 45 nm-class magnitudes plus
+// a static power term proportional to runtime. Absolute joules are not the
+// point — Fig. 14 is about the *composition*: dynamic energy is nearly
+// scheme-independent, static energy scales with execution time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+struct ActivityCounters {
+  std::uint64_t noc_link_flits = 0;       ///< Router-to-router flit hops.
+  std::uint64_t noc_buffer_ops = 0;       ///< VC buffer writes + reads.
+  std::uint64_t noc_crossbar = 0;         ///< Switch traversals.
+  std::uint64_t dram_activates = 0;
+  std::uint64_t dram_accesses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t core_instructions = 0;    ///< Warp instructions.
+  Cycle cycles = 0;
+};
+
+struct EnergyBreakdown {
+  double dynamic_noc_nj = 0.0;
+  double dynamic_mem_nj = 0.0;
+  double dynamic_core_nj = 0.0;
+  double static_nj = 0.0;
+  double total_nj() const {
+    return dynamic_noc_nj + dynamic_mem_nj + dynamic_core_nj + static_nj;
+  }
+  double dynamic_nj() const {
+    return dynamic_noc_nj + dynamic_mem_nj + dynamic_core_nj;
+  }
+};
+
+struct EnergyParams {
+  // Per-event dynamic energies (nJ).
+  double link_flit_nj = 0.005;
+  double buffer_op_nj = 0.002;
+  double crossbar_nj = 0.004;
+  double dram_activate_nj = 1.0;
+  double dram_access_nj = 2.0;
+  double l2_access_nj = 0.05;
+  double l1_access_nj = 0.02;
+  double instruction_nj = 0.08;
+  // Chip static power (W) -> nJ per 1 GHz cycle. The paper notes the tools
+  // model a low static share; keep it modest so the Fig. 14 shape matches.
+  double static_w = 6.0;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const EnergyParams& params = {}) : p_(params) {}
+  EnergyBreakdown evaluate(const ActivityCounters& c) const;
+
+ private:
+  EnergyParams p_;
+};
+
+}  // namespace arinoc

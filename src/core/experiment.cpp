@@ -1,0 +1,50 @@
+#include "core/experiment.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace arinoc {
+
+Config make_base_config() {
+  Config cfg;  // Defaults already encode Table I.
+  cfg.warmup_cycles = 2000;
+  cfg.run_cycles = 8000;  // Keeps full-suite benches minutes-fast; export
+                          // ARINOC_RUN_CYCLES for higher-fidelity runs.
+  return apply_env_overrides(cfg);
+}
+
+Config apply_env_overrides(Config cfg) {
+  if (const char* rc = std::getenv("ARINOC_RUN_CYCLES")) {
+    cfg.run_cycles = static_cast<Cycle>(std::strtoull(rc, nullptr, 10));
+  }
+  if (const char* wc = std::getenv("ARINOC_WARMUP_CYCLES")) {
+    cfg.warmup_cycles = static_cast<Cycle>(std::strtoull(wc, nullptr, 10));
+  }
+  return cfg;
+}
+
+Metrics run_scheme(const Config& base, Scheme scheme,
+                   const std::string& benchmark,
+                   const std::function<void(Config&)>& tweak, bool da2mesh) {
+  const BenchmarkTraits* traits = find_benchmark(benchmark);
+  assert(traits != nullptr && "unknown benchmark");
+  Config cfg = apply_scheme(base, scheme);
+  if (tweak) tweak(cfg);
+  GpgpuSim sim(cfg, *traits, da2mesh);
+  sim.run_with_warmup();
+  return sim.collect();
+}
+
+std::vector<RunResult> run_suite(const Config& base, Scheme scheme,
+                                 const std::vector<std::string>& benchmarks,
+                                 bool da2mesh) {
+  std::vector<RunResult> results;
+  results.reserve(benchmarks.size());
+  for (const auto& b : benchmarks) {
+    results.push_back({b, scheme, run_scheme(base, scheme, b, nullptr,
+                                             da2mesh)});
+  }
+  return results;
+}
+
+}  // namespace arinoc

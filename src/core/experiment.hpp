@@ -1,0 +1,43 @@
+// Experiment driver helpers shared by the bench binaries: building the
+// Table-I base configuration, running (scheme x benchmark) combinations and
+// collecting metrics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/gpgpu_sim.hpp"
+#include "workloads/benchmark.hpp"
+
+namespace arinoc {
+
+/// The paper's Table-I configuration. `run_cycles`/`warmup_cycles` default
+/// to values that keep the full-suite benches minutes-fast; individual
+/// benches may lengthen them.
+Config make_base_config();
+
+/// Simulation length override honoured by every bench binary:
+/// ARINOC_RUN_CYCLES / ARINOC_WARMUP_CYCLES environment variables.
+Config apply_env_overrides(Config cfg);
+
+struct RunResult {
+  std::string benchmark;
+  Scheme scheme;
+  Metrics metrics;
+};
+
+/// Runs one benchmark under one scheme (with optional config tweaking after
+/// the scheme preset is applied) and returns the measured metrics.
+Metrics run_scheme(const Config& base, Scheme scheme,
+                   const std::string& benchmark,
+                   const std::function<void(Config&)>& tweak = nullptr,
+                   bool da2mesh = false);
+
+/// Runs a list of benchmarks under one scheme.
+std::vector<RunResult> run_suite(const Config& base, Scheme scheme,
+                                 const std::vector<std::string>& benchmarks,
+                                 bool da2mesh = false);
+
+}  // namespace arinoc

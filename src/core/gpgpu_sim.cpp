@@ -1,0 +1,315 @@
+#include "core/gpgpu_sim.hpp"
+
+#include <cassert>
+
+namespace arinoc {
+
+// ---------------------------------------------------------------- Ports
+
+/// Request injection glue for one CC node.
+class GpgpuSim::CcRequestPort final : public RequestPort {
+ public:
+  CcRequestPort(GpgpuSim* sim, NodeId cc, InjectNi* ni)
+      : sim_(sim), cc_(cc), ni_(ni) {}
+
+  bool try_send_request(bool write, TxnId txn, NodeId dest_mc,
+                        Cycle now) override {
+    const PacketType type =
+        write ? PacketType::kWriteRequest : PacketType::kReadRequest;
+    const PacketId id =
+        sim_->request_net_->make_packet(type, cc_, dest_mc, 0, txn, now);
+    if (ni_->try_accept(id, now)) return true;
+    sim_->request_net_->abandon_packet(id);
+    return false;
+  }
+
+ private:
+  GpgpuSim* sim_;
+  NodeId cc_;
+  InjectNi* ni_;
+};
+
+/// Reply injection glue for one MC node (mesh NI or DA2mesh endpoint).
+class GpgpuSim::McReplyPort final : public ReplyPort {
+ public:
+  McReplyPort(GpgpuSim* sim, NodeId mc, InjectNi* ni)
+      : sim_(sim), mc_(mc), ni_(ni) {}
+
+  bool try_send_reply(PacketType type, TxnId txn, NodeId dest,
+                      Cycle now) override {
+    assert(is_reply(type));
+    if (sim_->overlay_) {
+      const PacketId id =
+          sim_->overlay_->make_packet(type, mc_, dest, txn, now);
+      if (sim_->overlay_->try_accept(mc_, id, now)) return true;
+      sim_->overlay_->abandon_packet(id);
+      return false;
+    }
+    // Replies are born at the top priority level and decay per hop (§5).
+    const auto prio = static_cast<std::uint8_t>(
+        sim_->cfg_.priority_levels - 1);
+    const PacketId id =
+        sim_->reply_net_->make_packet(type, mc_, dest, prio, txn, now);
+    if (ni_->try_accept(id, now)) return true;
+    sim_->reply_net_->abandon_packet(id);
+    return false;
+  }
+
+ private:
+  GpgpuSim* sim_;
+  NodeId mc_;
+  InjectNi* ni_;
+};
+
+// ---------------------------------------------------------------- Setup
+
+namespace {
+
+NetworkParams request_params(const Config& cfg) {
+  NetworkParams p;
+  p.name = "request";
+  p.link_width_bits = cfg.link_width_bits_request;
+  p.num_vcs = cfg.num_vcs;
+  p.vc_depth_flits = cfg.vc_depth_flits_request();
+  // Deeper router pipelines show up as extra per-hop transfer latency.
+  p.link_latency = cfg.link_latency + cfg.router_pipeline_stages - 1;
+  p.routing = cfg.routing;
+  p.non_atomic_vc = cfg.non_atomic_vc;
+  p.priority_levels = 1;  // ARI touches only the reply side...
+  p.treat_mcs_specially = false;
+  // ...unless the request-side negative control is enabled.
+  p.treat_ccs_specially = cfg.request_side_ari;
+  p.mc_injection_speedup = cfg.request_side_ari ? cfg.injection_speedup : 1;
+  return p;
+}
+
+NetworkParams reply_params(const Config& cfg) {
+  NetworkParams p;
+  p.name = "reply";
+  p.link_width_bits = cfg.link_width_bits_reply;
+  p.num_vcs = cfg.num_vcs;
+  p.vc_depth_flits = cfg.vc_depth_flits_reply();
+  p.link_latency = cfg.link_latency + cfg.router_pipeline_stages - 1;
+  p.routing = cfg.routing;
+  p.non_atomic_vc = cfg.non_atomic_vc;
+  p.priority_levels = cfg.priority_levels;
+  p.starvation_threshold = cfg.starvation_threshold;
+  p.mc_injection_speedup = cfg.injection_speedup;
+  p.mc_injection_ports =
+      cfg.reply_ni == NiArch::kMultiPort ? cfg.multiport_ports : 1;
+  p.treat_mcs_specially = true;
+  return p;
+}
+
+}  // namespace
+
+GpgpuSim::GpgpuSim(const Config& cfg, const BenchmarkTraits& traits,
+                   bool use_da2mesh)
+    : cfg_(cfg),
+      traits_(traits),
+      mesh_(cfg.mesh_width, cfg.mesh_height, cfg.num_mcs, cfg.mc_placement),
+      amap_(cfg.num_mcs, cfg.line_bytes, cfg.dram_banks),
+      tracegen_(traits, cfg.num_ccs(), cfg.warps_per_core, cfg.line_bytes,
+                cfg.seed) {
+  build(use_da2mesh, &tracegen_);
+}
+
+GpgpuSim::GpgpuSim(const Config& cfg, InstrSource* source, bool use_da2mesh)
+    : cfg_(cfg),
+      traits_(),
+      mesh_(cfg.mesh_width, cfg.mesh_height, cfg.num_mcs, cfg.mc_placement),
+      amap_(cfg.num_mcs, cfg.line_bytes, cfg.dram_banks),
+      tracegen_(traits_, 1, 1, cfg.line_bytes, cfg.seed) {
+  build(use_da2mesh, source);
+}
+
+void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
+  const Config& cfg = cfg_;
+  const std::string err = cfg.validate();
+  assert(err.empty() && "invalid configuration");
+  (void)err;
+
+  request_net_ = std::make_unique<Network>(request_params(cfg), &mesh_);
+  request_net_->data_payload_bits = cfg.data_payload_bits;
+  reply_net_ = std::make_unique<Network>(reply_params(cfg), &mesh_);
+  reply_net_->data_payload_bits = cfg.data_payload_bits;
+  if (use_da2mesh) {
+    OverlayParams op;
+    op.queue_flits = cfg.ni_queue_flits;
+    op.ari = cfg.reply_ni == NiArch::kSplitQueue;
+    op.lanes = cfg.split_queues;
+    op.data_payload_bits = cfg.data_payload_bits;
+    op.link_width_bits = cfg.link_width_bits_reply;
+    overlay_ = std::make_unique<Da2MeshOverlay>(op, &mesh_);
+  }
+
+  const auto& mc_nodes = mesh_.mc_nodes();
+  const auto& cc_nodes = mesh_.cc_nodes();
+
+  // Memory controllers + their reply injection path.
+  for (std::size_t i = 0; i < mc_nodes.size(); ++i) {
+    const NodeId node = mc_nodes[i];
+    if (!overlay_) {
+      reply_inject_.push_back(
+          make_inject_ni(cfg.reply_ni, reply_net_.get(), node, cfg));
+    } else {
+      reply_inject_.push_back(nullptr);  // Overlay NIs live in the overlay.
+    }
+    reply_ports_.push_back(std::make_unique<McReplyPort>(
+        this, node, reply_inject_.back().get()));
+    mcs_.push_back(std::make_unique<MemController>(
+        cfg, node, &txns_, &amap_, reply_ports_.back().get()));
+    request_eject_.push_back(std::make_unique<EjectNi>(
+        request_net_.get(), node, mcs_.back().get(),
+        cfg.mc_eject_flits_per_cycle));
+  }
+
+  // Cores + their request injection / reply ejection paths.
+  for (std::size_t i = 0; i < cc_nodes.size(); ++i) {
+    const NodeId node = cc_nodes[i];
+    // Request-side CC NIs use the enhanced single-queue architecture: the
+    // paper leaves the request network untouched (split queues only under
+    // the request_side_ari negative control).
+    request_inject_.push_back(make_inject_ni(
+        cfg.request_side_ari ? NiArch::kSplitQueue : NiArch::kEnhanced,
+        request_net_.get(), node, cfg));
+    req_ports_.push_back(std::make_unique<CcRequestPort>(
+        this, node, request_inject_.back().get()));
+    cores_.push_back(std::make_unique<SimtCore>(
+        cfg, static_cast<std::uint32_t>(i), node, source, &txns_, &amap_,
+        &mesh_.mc_nodes(), req_ports_.back().get()));
+    if (!overlay_) {
+      reply_eject_.push_back(std::make_unique<EjectNi>(
+          reply_net_.get(), node, cores_.back().get()));
+    } else {
+      overlay_->set_sink(node, cores_.back().get());
+    }
+  }
+}
+
+GpgpuSim::~GpgpuSim() = default;
+
+void GpgpuSim::step() {
+  const Cycle now = cycle_;
+  // 1) Cores generate and emit traffic (into request NIs via their ports).
+  for (auto& core : cores_) core->cycle(now);
+  // 2) MCs service requests, tick DRAM, forward replies into reply NIs.
+  for (auto& mc : mcs_) mc->cycle(now);
+  // 3) Injection NIs move flits into the routers.
+  for (auto& ni : request_inject_) ni->cycle(now);
+  if (!overlay_) {
+    for (auto& ni : reply_inject_) ni->cycle(now);
+  }
+  // 4) Networks advance one cycle.
+  request_net_->step(now);
+  if (overlay_) {
+    overlay_->step(now);
+  } else {
+    reply_net_->step(now);
+  }
+  // 5) Ejection NIs drain router ejection buffers into the sinks.
+  for (auto& ni : request_eject_) ni->cycle(now);
+  for (auto& ni : reply_eject_) ni->cycle(now);
+  // 6) Sampling.
+  if (!overlay_) {
+    for (auto& ni : reply_inject_) ni->sample();
+  }
+  ++cycle_;
+}
+
+void GpgpuSim::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+void GpgpuSim::run_with_warmup() {
+  run(cfg_.warmup_cycles);
+  reset_stats();
+  run(cfg_.run_cycles);
+}
+
+void GpgpuSim::reset_stats() {
+  request_net_->reset_stats();
+  reply_net_->reset_stats();
+  if (overlay_) overlay_->stats().reset();
+  for (auto& c : cores_) c->reset_stats();
+  for (auto& m : mcs_) m->reset_stats();
+  for (auto& ni : reply_inject_) {
+    if (ni) ni->reset_stats();
+  }
+  measure_start_ = cycle_;
+}
+
+Metrics GpgpuSim::collect() const {
+  Metrics m;
+  m.cycles = cycle_ - measure_start_;
+  const double cycles_d = m.cycles ? static_cast<double>(m.cycles) : 1.0;
+
+  for (const auto& c : cores_) m.warp_instructions += c->warp_instructions();
+  m.ipc = static_cast<double>(m.warp_instructions) / cycles_d;
+
+  const NocStats& req = request_net_->stats();
+  const NocStats& rep = overlay_ ? overlay_->stats() : reply_net_->stats();
+  m.request_latency = req.mean_latency_all();
+  m.reply_latency = rep.mean_latency_all();
+  for (std::size_t t = 0; t < 4; ++t) {
+    m.flits_by_type[t] = req.flits_delivered[t] + rep.flits_delivered[t];
+    m.packets_by_type[t] = req.packets_delivered[t] + rep.packets_delivered[t];
+  }
+
+  for (const auto& mc : mcs_) m.mc_stall_cycles += mc->stall_cycles();
+
+  if (!overlay_) {
+    m.reply_internal_util = reply_net_->internal_link_utilization(m.cycles);
+    m.reply_injection_util =
+        reply_net_->injection_link_utilization(m.cycles, mesh_.mc_nodes());
+    double occ = 0.0;
+    for (const auto& ni : reply_inject_) occ += ni->mean_occupancy_packets();
+    m.ni_occupancy_pkts = occ / static_cast<double>(reply_inject_.size());
+  }
+  m.request_internal_util = request_net_->internal_link_utilization(m.cycles);
+  m.request_injection_util =
+      request_net_->injection_link_utilization(m.cycles, mesh_.cc_nodes());
+
+  std::uint64_t l1_h = 0, l1_m = 0, l2_h = 0, l2_m = 0;
+  for (const auto& c : cores_) {
+    l1_h += c->l1().hits();
+    l1_m += c->l1().misses();
+  }
+  std::uint64_t row_hits = 0, dram_acc = 0, dram_act = 0;
+  for (const auto& mc : mcs_) {
+    l2_h += mc->l2().hits();
+    l2_m += mc->l2().misses();
+    row_hits += mc->dram().row_hits();
+    dram_acc += mc->dram().accesses();
+    dram_act += mc->dram().activates();
+  }
+  m.l1_hit_rate = (l1_h + l1_m) ? double(l1_h) / double(l1_h + l1_m) : 0.0;
+  m.l2_hit_rate = (l2_h + l2_m) ? double(l2_h) / double(l2_h + l2_m) : 0.0;
+  m.dram_row_hit_rate = dram_acc ? double(row_hits) / double(dram_acc) : 0.0;
+
+  // Activity counters for the energy model.
+  ActivityCounters& a = m.activity;
+  auto add_net = [&a](const Network& net, const Mesh& mesh) {
+    std::uint64_t link_flits = 0;
+    for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
+      const Router& r = net.router(n);
+      for (int d = 0; d < kNumDirections; ++d) link_flits += r.flits_sent(d);
+      a.noc_crossbar += r.crossbar_traversals();
+      a.noc_buffer_ops += 2 * (r.flits_injected() + r.flits_ejected());
+    }
+    a.noc_link_flits += link_flits;
+    a.noc_buffer_ops += 2 * link_flits;  // Write + read per buffered hop.
+  };
+  add_net(*request_net_, mesh_);
+  if (!overlay_) add_net(*reply_net_, mesh_);
+  a.dram_activates = dram_act;
+  a.dram_accesses = dram_acc;
+  a.l2_accesses = l2_h + l2_m;
+  a.l1_accesses = l1_h + l1_m;
+  a.core_instructions = m.warp_instructions;
+  a.cycles = m.cycles;
+  m.energy = EnergyModel{}.evaluate(a);
+  return m;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,123 @@
+// Top-level GPGPU system simulator: SIMT cores + request network + memory
+// controllers (L2 + GDDR5) + reply network (mesh or DA2mesh overlay), wired
+// per the end-to-end flow of paper Fig. 2.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/energy.hpp"
+#include "gpu/core.hpp"
+#include "mem/address_map.hpp"
+#include "mem/mem_controller.hpp"
+#include "mem/txn.hpp"
+#include "noc/network.hpp"
+#include "noc/ni.hpp"
+#include "noc/overlay.hpp"
+#include "noc/topology.hpp"
+#include "workloads/benchmark.hpp"
+#include "workloads/tracegen.hpp"
+
+namespace arinoc {
+
+/// Everything the evaluation figures need from one measured run.
+struct Metrics {
+  Cycle cycles = 0;
+  std::uint64_t warp_instructions = 0;
+  double ipc = 0.0;  ///< Warp instructions per cycle (all cores).
+
+  double request_latency = 0.0;  ///< Mean packet latency, request network.
+  double reply_latency = 0.0;    ///< Mean packet latency, reply fabric.
+
+  std::uint64_t mc_stall_cycles = 0;  ///< Summed over MCs (Fig. 12).
+
+  std::array<std::uint64_t, 4> flits_by_type{};    ///< Both networks (Fig. 5).
+  std::array<std::uint64_t, 4> packets_by_type{};
+
+  double reply_injection_util = 0.0;  ///< Flits/cycle on MC injection links.
+  double reply_internal_util = 0.0;   ///< Flits/cycle on in-network links.
+  double request_injection_util = 0.0;
+  double request_internal_util = 0.0;
+
+  double ni_occupancy_pkts = 0.0;  ///< Mean reply-NI occupancy (Fig. 6).
+
+  double l1_hit_rate = 0.0;
+  double l2_hit_rate = 0.0;
+  double dram_row_hit_rate = 0.0;
+
+  ActivityCounters activity;
+  EnergyBreakdown energy;
+};
+
+class GpgpuSim {
+ public:
+  /// `use_da2mesh` replaces the mesh reply network with the DA2mesh overlay
+  /// (§7.5(4)); ARI-ness of the overlay follows cfg.reply_ni == kSplitQueue.
+  GpgpuSim(const Config& cfg, const BenchmarkTraits& traits,
+           bool use_da2mesh = false);
+  /// Drives the cores from a caller-owned instruction source (e.g. a
+  /// TraceFileSource) instead of the synthetic benchmark models. `source`
+  /// must outlive the simulator.
+  GpgpuSim(const Config& cfg, InstrSource* source, bool use_da2mesh = false);
+  ~GpgpuSim();
+
+  void step();
+  void run(Cycle cycles);
+  /// Warmup for cfg.warmup_cycles, reset statistics, run cfg.run_cycles.
+  void run_with_warmup();
+
+  void reset_stats();
+  Metrics collect() const;
+
+  Cycle now() const { return cycle_; }
+  const Mesh& mesh() const { return mesh_; }
+  const Config& config() const { return cfg_; }
+
+  // ---- Component access (tests, probes) ----
+  Network& request_net() { return *request_net_; }
+  Network& reply_net() { return *reply_net_; }
+  bool has_overlay() const { return overlay_ != nullptr; }
+  Da2MeshOverlay& overlay() { return *overlay_; }
+  std::size_t num_cores() const { return cores_.size(); }
+  std::size_t num_mcs() const { return mcs_.size(); }
+  SimtCore& core(std::size_t i) { return *cores_[i]; }
+  MemController& mc(std::size_t i) { return *mcs_[i]; }
+  InjectNi& reply_ni(std::size_t mc_index) { return *reply_inject_[mc_index]; }
+  /// Outstanding memory transactions (conservation probe for tests).
+  std::size_t live_txns() const { return txns_.live(); }
+
+ private:
+  class CcRequestPort;
+  class McReplyPort;
+
+  void build(bool use_da2mesh, InstrSource* source);
+
+  Config cfg_;
+  BenchmarkTraits traits_;
+  Mesh mesh_;
+  AddressMap amap_;
+  TxnPool txns_;
+  TraceGen tracegen_;  ///< Default source (synthetic benchmark model).
+
+  std::unique_ptr<Network> request_net_;
+  std::unique_ptr<Network> reply_net_;
+  std::unique_ptr<Da2MeshOverlay> overlay_;
+
+  std::vector<std::unique_ptr<SimtCore>> cores_;          // Per CC node.
+  std::vector<std::unique_ptr<MemController>> mcs_;       // Per MC node.
+  std::vector<std::unique_ptr<CcRequestPort>> req_ports_;
+  std::vector<std::unique_ptr<McReplyPort>> reply_ports_;
+
+  std::vector<std::unique_ptr<InjectNi>> request_inject_;  // Per CC.
+  std::vector<std::unique_ptr<EjectNi>> request_eject_;    // Per MC.
+  std::vector<std::unique_ptr<InjectNi>> reply_inject_;    // Per MC.
+  std::vector<std::unique_ptr<EjectNi>> reply_eject_;      // Per CC.
+
+  Cycle cycle_ = 0;
+  Cycle measure_start_ = 0;
+};
+
+}  // namespace arinoc

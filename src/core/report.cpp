@@ -1,0 +1,99 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace arinoc {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string metrics_to_json(const Metrics& m, int indent) {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const char* sep = "";
+  os << "{\n";
+  auto num = [&](const char* key, double v) {
+    os << sep << pad << '"' << key << "\": ";
+    // Emit integers without a fraction for cleanliness.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+      os << static_cast<long long>(v);
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      os << buf;
+    }
+    sep = ",\n";
+  };
+  num("cycles", static_cast<double>(m.cycles));
+  num("warp_instructions", static_cast<double>(m.warp_instructions));
+  num("ipc", m.ipc);
+  num("request_latency", m.request_latency);
+  num("reply_latency", m.reply_latency);
+  num("mc_stall_cycles", static_cast<double>(m.mc_stall_cycles));
+  num("flits_read_request", static_cast<double>(m.flits_by_type[0]));
+  num("flits_write_request", static_cast<double>(m.flits_by_type[1]));
+  num("flits_read_reply", static_cast<double>(m.flits_by_type[2]));
+  num("flits_write_reply", static_cast<double>(m.flits_by_type[3]));
+  num("reply_injection_util", m.reply_injection_util);
+  num("reply_internal_util", m.reply_internal_util);
+  num("request_injection_util", m.request_injection_util);
+  num("request_internal_util", m.request_internal_util);
+  num("ni_occupancy_pkts", m.ni_occupancy_pkts);
+  num("l1_hit_rate", m.l1_hit_rate);
+  num("l2_hit_rate", m.l2_hit_rate);
+  num("dram_row_hit_rate", m.dram_row_hit_rate);
+  num("energy_dynamic_nj", m.energy.dynamic_nj());
+  num("energy_static_nj", m.energy.static_nj);
+  num("energy_total_nj", m.energy.total_nj());
+  os << "\n}";
+  return os.str();
+}
+
+}  // namespace arinoc

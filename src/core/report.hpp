@@ -1,0 +1,35 @@
+// Plain-text table formatting for the bench binaries (the figures are
+// reproduced as aligned tables: one row per benchmark, one column per
+// scheme/series, plus a geomean summary row where the paper reports one).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/gpgpu_sim.hpp"
+
+namespace arinoc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers.
+std::string fmt(double value, int precision = 3);
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// Serializes a Metrics record as a flat JSON object (for scripting around
+/// the CLI driver). Stable key names; numbers only.
+std::string metrics_to_json(const Metrics& m, int indent = 2);
+
+}  // namespace arinoc

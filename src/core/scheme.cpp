@@ -1,0 +1,31 @@
+#include "core/scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arinoc {
+
+std::uint32_t min_speedup_eq1(double inj_rate_pkt,
+                              double mean_flits_per_pkt) {
+  const double s = inj_rate_pkt * mean_flits_per_pkt;
+  return static_cast<std::uint32_t>(std::max(1.0, std::ceil(s)));
+}
+
+std::uint32_t max_speedup_eq2(std::uint32_t non_local_outputs,
+                              std::uint32_t num_vcs) {
+  return std::max(1u, std::min(non_local_outputs, num_vcs));
+}
+
+std::uint32_t recommended_speedup(double inj_rate_pkt,
+                                  double mean_flits_per_pkt,
+                                  std::uint32_t non_local_outputs,
+                                  std::uint32_t num_vcs) {
+  return std::min(min_speedup_eq1(inj_rate_pkt, mean_flits_per_pkt),
+                  max_speedup_eq2(non_local_outputs, num_vcs));
+}
+
+double mean_reply_flits(double read_frac, std::uint32_t long_flits) {
+  return read_frac * long_flits + (1.0 - read_frac) * 1.0;
+}
+
+}  // namespace arinoc

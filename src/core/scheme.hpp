@@ -1,0 +1,29 @@
+// ARI design-guideline calculations (paper §4.2, Eq. (1) and (2)):
+// sizing the injection-port crossbar speedup from the ideal packet injection
+// rate and the flit-weighted mean packet size.
+#pragma once
+
+#include <cstdint>
+
+namespace arinoc {
+
+/// Eq. (1): minimum speedup able to consume the injected traffic,
+///   S >= InjRate_pkt * mean_flits_per_pkt.
+/// `inj_rate_pkt` is packets/cycle under perfect consumption.
+std::uint32_t min_speedup_eq1(double inj_rate_pkt, double mean_flits_per_pkt);
+
+/// Eq. (2): S <= min(N_out, N_vc).
+std::uint32_t max_speedup_eq2(std::uint32_t non_local_outputs,
+                              std::uint32_t num_vcs);
+
+/// The paper's guideline: the minimal S meeting Eq. (1), clamped by Eq. (2).
+std::uint32_t recommended_speedup(double inj_rate_pkt,
+                                  double mean_flits_per_pkt,
+                                  std::uint32_t non_local_outputs,
+                                  std::uint32_t num_vcs);
+
+/// Flit-weighted mean packet size in a reply stream with `read_frac` read
+/// replies (long, `long_flits`) and the rest write replies (1 flit).
+double mean_reply_flits(double read_frac, std::uint32_t long_flits);
+
+}  // namespace arinoc

@@ -1,0 +1,43 @@
+#include "core/sweep.hpp"
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+
+namespace arinoc {
+
+std::vector<SweepCell> Sweep::run() const {
+  std::vector<SweepCell> cells;
+  // A sweep without an explicit axis still runs the base config once per
+  // (scheme, benchmark) pair.
+  const std::vector<SweepPoint> points =
+      points_.empty() ? std::vector<SweepPoint>{{"base", nullptr}} : points_;
+  for (const SweepPoint& p : points) {
+    for (Scheme s : schemes_) {
+      for (const std::string& b : benchmarks_) {
+        cells.push_back(
+            {p.label, scheme_name(s), b, run_scheme(base_, s, b, p.tweak)});
+      }
+    }
+  }
+  return cells;
+}
+
+std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
+  std::ostringstream os;
+  os << "point,scheme,benchmark,cycles,ipc,request_latency,reply_latency,"
+        "mc_stall_cycles,reply_injection_util,reply_internal_util,"
+        "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj\n";
+  for (const SweepCell& c : cells) {
+    const Metrics& m = c.metrics;
+    os << c.point << ',' << c.scheme << ',' << c.benchmark << ','
+       << m.cycles << ',' << m.ipc << ',' << m.request_latency << ','
+       << m.reply_latency << ',' << m.mc_stall_cycles << ','
+       << m.reply_injection_util << ',' << m.reply_internal_util << ','
+       << m.l1_hit_rate << ',' << m.l2_hit_rate << ','
+       << m.dram_row_hit_rate << ',' << m.energy.total_nj() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace arinoc

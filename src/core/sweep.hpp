@@ -1,0 +1,58 @@
+// Parameter-sweep driver: runs a grid of (config variant x scheme x
+// benchmark) simulations and renders the results as CSV — the plumbing
+// behind "make the plot for figure X" scripts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/gpgpu_sim.hpp"
+
+namespace arinoc {
+
+/// One axis point: a label plus a config mutation.
+struct SweepPoint {
+  std::string label;
+  std::function<void(Config&)> tweak;
+};
+
+struct SweepCell {
+  std::string point;      ///< SweepPoint label.
+  std::string scheme;     ///< Scheme name.
+  std::string benchmark;
+  Metrics metrics;
+};
+
+class Sweep {
+ public:
+  explicit Sweep(Config base) : base_(std::move(base)) {}
+
+  Sweep& over(std::vector<SweepPoint> points) {
+    points_ = std::move(points);
+    return *this;
+  }
+  Sweep& schemes(std::vector<Scheme> schemes) {
+    schemes_ = std::move(schemes);
+    return *this;
+  }
+  Sweep& benchmarks(std::vector<std::string> benchmarks) {
+    benchmarks_ = std::move(benchmarks);
+    return *this;
+  }
+
+  /// Runs the full grid (points x schemes x benchmarks), in order.
+  std::vector<SweepCell> run() const;
+
+  /// CSV with one row per cell: point,scheme,benchmark,<metric columns>.
+  static std::string to_csv(const std::vector<SweepCell>& cells);
+
+ private:
+  Config base_;
+  std::vector<SweepPoint> points_;
+  std::vector<Scheme> schemes_;
+  std::vector<std::string> benchmarks_;
+};
+
+}  // namespace arinoc

@@ -1,0 +1,21 @@
+#include "gpu/coalescer.hpp"
+
+namespace arinoc {
+
+std::uint8_t coalesce(Instr* instr) {
+  std::uint8_t out = 0;
+  for (std::uint8_t i = 0; i < instr->num_lines; ++i) {
+    bool dup = false;
+    for (std::uint8_t j = 0; j < out; ++j) {
+      if (instr->lines[j] == instr->lines[i]) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) instr->lines[out++] = instr->lines[i];
+  }
+  instr->num_lines = out;
+  return out;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,15 @@
+// Memory-access coalescer: deduplicates the line addresses touched by one
+// warp memory instruction into the minimal set of transactions.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/instr.hpp"
+
+namespace arinoc {
+
+/// Collapses duplicate lines in `instr` in place; returns the number of
+/// distinct transactions after coalescing.
+std::uint8_t coalesce(Instr* instr);
+
+}  // namespace arinoc

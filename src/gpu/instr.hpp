@@ -1,0 +1,31 @@
+// Warp-level instruction abstraction. The simulator does not execute real
+// ISA semantics; a warp instruction is either an ALU op or a memory op that
+// touches up to kMaxLines coalesced cache lines (the workload models decide
+// the mix and the addresses — see workloads/).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+struct Instr {
+  static constexpr std::uint8_t kMaxLines = 4;
+
+  bool is_mem = false;
+  bool is_store = false;
+  std::uint8_t num_lines = 0;              ///< Coalesced transactions.
+  std::array<Addr, kMaxLines> lines{};     ///< Line-aligned addresses.
+};
+
+/// Produces the next warp instruction for (core, warp). Implemented by the
+/// synthetic workload models.
+class InstrSource {
+ public:
+  virtual ~InstrSource() = default;
+  virtual Instr next(std::uint32_t core, std::uint32_t warp) = 0;
+};
+
+}  // namespace arinoc

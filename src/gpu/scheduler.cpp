@@ -1,0 +1,40 @@
+#include "gpu/scheduler.hpp"
+
+namespace arinoc {
+
+WarpScheduler::WarpScheduler(SchedPolicy policy, std::uint32_t /*num_warps*/)
+    : policy_(policy) {}
+
+int WarpScheduler::pick(const std::vector<Warp>& warps,
+                        const std::vector<bool>& eligible) {
+  if (policy_ == SchedPolicy::kLooseRoundRobin) {
+    for (std::size_t k = 0; k < warps.size(); ++k) {
+      const std::size_t i = (rr_ptr_ + k) % warps.size();
+      if (eligible[i]) {
+        rr_ptr_ = (i + 1) % warps.size();
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+  // Greedy-then-oldest: stick with the current warp while it can issue.
+  if (current_ >= 0 && eligible[static_cast<std::size_t>(current_)]) {
+    return current_;
+  }
+  // Otherwise the eligible warp that issued least recently (oldest).
+  int best = -1;
+  for (std::size_t i = 0; i < warps.size(); ++i) {
+    if (!eligible[i]) continue;
+    if (best < 0 ||
+        warps[i].last_issue < warps[static_cast<std::size_t>(best)].last_issue) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void WarpScheduler::issued(std::uint32_t warp) {
+  current_ = static_cast<int>(warp);
+}
+
+}  // namespace arinoc

@@ -1,0 +1,32 @@
+// Warp schedulers. Greedy-then-oldest (Table I) keeps issuing from the same
+// warp until it stalls, then switches to the warp that has gone longest
+// without issuing. A loose round-robin scheduler is provided for ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/warp.hpp"
+
+namespace arinoc {
+
+enum class SchedPolicy { kGreedyThenOldest, kLooseRoundRobin };
+
+class WarpScheduler {
+ public:
+  WarpScheduler(SchedPolicy policy, std::uint32_t num_warps);
+
+  /// Picks a warp index to issue from among `warps` where `eligible(w)` is
+  /// true; returns -1 if none. Call `issued(w)` after a successful issue.
+  int pick(const std::vector<Warp>& warps,
+           const std::vector<bool>& eligible);
+  void issued(std::uint32_t warp);
+
+ private:
+  SchedPolicy policy_;
+  int current_ = -1;       ///< GTO: the greedy warp.
+  std::size_t rr_ptr_ = 0; ///< LRR pointer.
+};
+
+}  // namespace arinoc

@@ -1,0 +1,2 @@
+// Warp is a plain aggregate; this TU anchors the header in the build.
+#include "gpu/warp.hpp"

@@ -1,0 +1,28 @@
+// Per-warp execution state tracked by a SIMT core: scoreboard of pending
+// loads, the staged next instruction, and issue statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "gpu/instr.hpp"
+
+namespace arinoc {
+
+struct Warp {
+  std::uint32_t id = 0;
+  /// Loads in flight; the warp cannot issue until they return (the
+  /// scoreboard models an immediate use of every load result — the
+  /// conservative end of latency hiding).
+  std::uint32_t outstanding_loads = 0;
+  /// Staged instruction awaiting issue (fetched from the InstrSource).
+  Instr staged;
+  bool has_staged = false;
+  /// Cycle of the last successful issue (used by the GTO scheduler).
+  Cycle last_issue = 0;
+  std::uint64_t instructions_issued = 0;
+
+  bool blocked() const { return outstanding_loads > 0; }
+};
+
+}  // namespace arinoc

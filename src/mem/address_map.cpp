@@ -1,0 +1,48 @@
+#include "mem/address_map.hpp"
+
+#include <cassert>
+
+namespace arinoc {
+
+namespace {
+[[maybe_unused]] bool is_pow2(std::uint32_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+std::uint32_t log2u(std::uint32_t x) {
+  std::uint32_t l = 0;
+  while ((1u << l) < x) ++l;
+  return l;
+}
+}  // namespace
+
+AddressMap::AddressMap(std::uint32_t num_mcs, std::uint32_t line_bytes,
+                       std::uint32_t dram_banks, std::uint32_t row_bytes)
+    : num_mcs_(num_mcs),
+      line_bytes_(line_bytes),
+      dram_banks_(dram_banks),
+      row_bytes_(row_bytes) {
+  assert(is_pow2(line_bytes) && "line size must be a power of two");
+  assert(is_pow2(row_bytes) && "row size must be a power of two");
+  assert(num_mcs > 0 && dram_banks > 0);
+}
+
+std::uint32_t AddressMap::mc_of(Addr addr) const {
+  // Line interleaving; num_mcs need not be a power of two.
+  return static_cast<std::uint32_t>((addr >> log2u(line_bytes_)) % num_mcs_);
+}
+
+std::uint32_t AddressMap::bank_of(Addr addr) const {
+  // Bank bits sit above the MC interleave so consecutive lines at one MC
+  // rotate banks (bank-level parallelism for streaming traffic).
+  const std::uint64_t line_at_mc =
+      (addr >> log2u(line_bytes_)) / num_mcs_;
+  return static_cast<std::uint32_t>(line_at_mc % dram_banks_);
+}
+
+std::uint64_t AddressMap::row_of(Addr addr) const {
+  const std::uint64_t line_at_mc = (addr >> log2u(line_bytes_)) / num_mcs_;
+  const std::uint64_t lines_per_row = row_bytes_ / line_bytes_;
+  return (line_at_mc / dram_banks_) / lines_per_row;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,37 @@
+// Global address decomposition: which MC serves an address, and the DRAM
+// bank/row split within an MC. Cache-line-interleaved across MCs so GPGPU
+// streaming traffic spreads over all controllers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+class AddressMap {
+ public:
+  AddressMap(std::uint32_t num_mcs, std::uint32_t line_bytes,
+             std::uint32_t dram_banks, std::uint32_t row_bytes = 2048);
+
+  /// Index of the MC (0..num_mcs-1) owning the line containing `addr`.
+  std::uint32_t mc_of(Addr addr) const;
+  /// DRAM bank within that MC.
+  std::uint32_t bank_of(Addr addr) const;
+  /// DRAM row within that bank.
+  std::uint64_t row_of(Addr addr) const;
+  /// Line-aligned address.
+  Addr line_of(Addr addr) const { return addr & ~static_cast<Addr>(line_bytes_ - 1); }
+
+  std::uint32_t num_mcs() const { return num_mcs_; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  std::uint32_t num_mcs_;
+  std::uint32_t line_bytes_;
+  std::uint32_t dram_banks_;
+  std::uint32_t row_bytes_;
+};
+
+}  // namespace arinoc

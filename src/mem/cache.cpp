@@ -1,0 +1,105 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace arinoc {
+
+namespace {
+std::uint32_t log2u(std::uint32_t x) {
+  std::uint32_t l = 0;
+  while ((1u << l) < x) ++l;
+  return l;
+}
+}  // namespace
+
+Cache::Cache(std::uint32_t size_bytes, std::uint32_t assoc,
+             std::uint32_t line_bytes)
+    : line_bytes_(line_bytes),
+      num_sets_(size_bytes / (assoc * line_bytes)),
+      assoc_(assoc),
+      ways_(static_cast<std::size_t>(num_sets_) * assoc) {
+  assert(num_sets_ > 0 && "cache too small for its associativity");
+  assert((num_sets_ & (num_sets_ - 1)) == 0 && "sets must be a power of two");
+}
+
+std::uint32_t Cache::set_of(Addr addr) const {
+  return static_cast<std::uint32_t>(addr >> log2u(line_bytes_)) &
+         (num_sets_ - 1);
+}
+
+Addr Cache::tag_of(Addr addr) const {
+  return addr >> (log2u(line_bytes_) + log2u(num_sets_));
+}
+
+bool Cache::access(Addr addr) {
+  const std::uint32_t set = set_of(addr);
+  const Addr tag = tag_of(addr);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[static_cast<std::size_t>(set) * assoc_ + w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+bool Cache::contains(Addr addr) const {
+  const std::uint32_t set = set_of(addr);
+  const Addr tag = tag_of(addr);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    const Way& way = ways_[static_cast<std::size_t>(set) * assoc_ + w];
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+Addr Cache::fill(Addr addr) {
+  const std::uint32_t set = set_of(addr);
+  const Addr tag = tag_of(addr);
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[static_cast<std::size_t>(set) * assoc_ + w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++tick_;  // Already present (racing fill) — refresh.
+      return 0;
+    }
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru < victim->lru) victim = &way;
+  }
+  Addr evicted = 0;
+  if (victim->valid) {
+    evicted = (victim->tag << (log2u(line_bytes_) + log2u(num_sets_))) |
+              (static_cast<Addr>(set) << log2u(line_bytes_));
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+  return evicted;
+}
+
+bool Cache::invalidate(Addr addr) {
+  const std::uint32_t set = set_of(addr);
+  const Addr tag = tag_of(addr);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Way& way = ways_[static_cast<std::size_t>(set) * assoc_ + w];
+    if (way.valid && way.tag == tag) {
+      way.valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& w : ways_) w = Way{};
+  tick_ = 0;
+  reset_stats();
+}
+
+}  // namespace arinoc

@@ -1,0 +1,66 @@
+// Set-associative cache with true LRU, used for both per-core L1s and the
+// per-MC L2 banks. Tag-array-only model: data payloads are not stored, the
+// simulator tracks which lines are present and hit/miss statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+class Cache {
+ public:
+  Cache(std::uint32_t size_bytes, std::uint32_t assoc,
+        std::uint32_t line_bytes);
+
+  /// Looks up `addr`; updates LRU on hit. Returns true on hit.
+  bool access(Addr addr);
+
+  /// Probes without updating LRU or statistics.
+  bool contains(Addr addr) const;
+
+  /// Inserts the line for `addr`, evicting LRU if needed.
+  /// Returns the evicted line address, or 0 if no eviction happened.
+  Addr fill(Addr addr);
+
+  /// Invalidates the line if present; returns true if it was present.
+  bool invalidate(Addr addr);
+
+  void reset();
+
+  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t assoc() const { return assoc_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+  void reset_stats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;  ///< Larger = more recently used.
+  };
+
+  std::uint32_t set_of(Addr addr) const;
+  Addr tag_of(Addr addr) const;
+
+  std::uint32_t line_bytes_;
+  std::uint32_t num_sets_;
+  std::uint32_t assoc_;
+  std::vector<Way> ways_;  ///< [set * assoc + way]
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace arinoc

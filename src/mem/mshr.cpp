@@ -1,0 +1,28 @@
+#include "mem/mshr.hpp"
+
+namespace arinoc {
+
+Mshr::Mshr(std::uint32_t entries, std::uint32_t max_merges)
+    : entries_(entries), max_merges_(max_merges) {}
+
+Mshr::Outcome Mshr::lookup(Addr line, std::uint32_t tag) {
+  auto it = table_.find(line);
+  if (it != table_.end()) {
+    if (it->second.size() >= max_merges_) return Outcome::kFull;
+    it->second.push_back(tag);
+    return Outcome::kMerged;
+  }
+  if (table_.size() >= entries_) return Outcome::kFull;
+  table_.emplace(line, std::vector<std::uint32_t>{tag});
+  return Outcome::kNewMiss;
+}
+
+std::vector<std::uint32_t> Mshr::fill(Addr line) {
+  auto it = table_.find(line);
+  if (it == table_.end()) return {};
+  std::vector<std::uint32_t> tags = std::move(it->second);
+  table_.erase(it);
+  return tags;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,41 @@
+// Miss-status holding registers: merge outstanding misses to the same line
+// so one network request serves many warps (standard GPGPU L1 behaviour).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+class Mshr {
+ public:
+  Mshr(std::uint32_t entries, std::uint32_t max_merges);
+
+  enum class Outcome {
+    kNewMiss,   ///< Allocated a new entry — caller must send a request.
+    kMerged,    ///< Joined an existing entry — no new request needed.
+    kFull,      ///< Structural stall: no entry / merge slot available.
+  };
+
+  /// Registers a miss for `line` by requester `tag` (e.g. warp id).
+  Outcome lookup(Addr line, std::uint32_t tag);
+
+  /// The line's data returned: pops and returns all merged requester tags.
+  /// The entry is freed. Returns empty if the line has no entry (spurious).
+  std::vector<std::uint32_t> fill(Addr line);
+
+  bool has_entry(Addr line) const { return table_.count(line) != 0; }
+  std::size_t used_entries() const { return table_.size(); }
+  std::uint32_t capacity() const { return entries_; }
+  bool full() const { return table_.size() >= entries_; }
+
+ private:
+  std::uint32_t entries_;
+  std::uint32_t max_merges_;
+  std::unordered_map<Addr, std::vector<std::uint32_t>> table_;
+};
+
+}  // namespace arinoc

@@ -1,0 +1,51 @@
+// Memory transaction descriptors shared between GPU cores, memory
+// controllers and the NoC (packets carry a TxnId in their `txn` field).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+using TxnId = std::uint64_t;
+
+struct MemTxn {
+  Addr line = 0;           ///< Line-aligned address.
+  NodeId src_cc = kInvalidNode;
+  NodeId dest_mc = kInvalidNode;
+  bool write = false;
+  std::uint32_t core = 0;  ///< Issuing core index.
+  Cycle issued = 0;
+  /// MSHR table key at the issuing core. Equals `line` normally; carries a
+  /// per-warp salt when cross-warp merging is disabled (WarpPool ablation).
+  Addr mshr_key = 0;
+};
+
+/// Free-list arena of transactions (same pattern as PacketArena).
+class TxnPool {
+ public:
+  TxnId create(const MemTxn& txn) {
+    if (!free_.empty()) {
+      const TxnId id = free_.back();
+      free_.pop_back();
+      slots_[static_cast<std::size_t>(id)] = txn;
+      return id;
+    }
+    slots_.push_back(txn);
+    return static_cast<TxnId>(slots_.size() - 1);
+  }
+  MemTxn& at(TxnId id) { return slots_[static_cast<std::size_t>(id)]; }
+  const MemTxn& at(TxnId id) const {
+    return slots_[static_cast<std::size_t>(id)];
+  }
+  void retire(TxnId id) { free_.push_back(id); }
+  std::size_t live() const { return slots_.size() - free_.size(); }
+
+ private:
+  std::vector<MemTxn> slots_;
+  std::vector<TxnId> free_;
+};
+
+}  // namespace arinoc

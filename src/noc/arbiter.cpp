@@ -1,0 +1,39 @@
+#include "noc/arbiter.hpp"
+
+#include <cassert>
+
+namespace arinoc {
+
+int RoundRobinArbiter::pick(const std::vector<bool>& request) {
+  assert(request.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t idx = (ptr_ + i) % n_;
+    if (request[idx]) {
+      ptr_ = (idx + 1) % n_;
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+int PriorityArbiter::pick(const std::vector<bool>& request,
+                          const std::vector<std::uint32_t>& key) {
+  assert(request.size() == key.size());
+  std::uint32_t best = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    if (request[i]) {
+      if (!any || key[i] > best) best = key[i];
+      any = true;
+    }
+  }
+  if (!any) return -1;
+  // Mask out requests below the best key, then RR among the rest.
+  std::vector<bool> masked(request.size());
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    masked[i] = request[i] && key[i] == best;
+  }
+  return rr_.pick(masked);
+}
+
+}  // namespace arinoc

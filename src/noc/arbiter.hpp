@@ -1,0 +1,49 @@
+// Arbiters for the separable input-first allocator (Table I).
+//
+// RoundRobinArbiter: classic rotating-priority arbiter.
+// PriorityArbiter:   picks the request with the highest priority key,
+//                    breaking ties round-robin. Used by output-port switch
+//                    arbitration when ARI's multi-level prioritization (§5)
+//                    is enabled; with all keys equal it degenerates to RR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arinoc {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t inputs = 0) : n_(inputs) {}
+
+  void resize(std::size_t inputs) {
+    n_ = inputs;
+    if (ptr_ >= n_) ptr_ = 0;
+  }
+  std::size_t size() const { return n_; }
+
+  /// Picks the first requesting input at or after the pointer; advances the
+  /// pointer past the grant. Returns -1 if no input requests.
+  int pick(const std::vector<bool>& request);
+
+ private:
+  std::size_t n_;
+  std::size_t ptr_ = 0;
+};
+
+class PriorityArbiter {
+ public:
+  explicit PriorityArbiter(std::size_t inputs = 0) : rr_(inputs) {}
+
+  void resize(std::size_t inputs) { rr_.resize(inputs); }
+
+  /// request[i] paired with key[i]; highest key wins, RR tie-break.
+  /// Returns -1 if no input requests.
+  int pick(const std::vector<bool>& request,
+           const std::vector<std::uint32_t>& key);
+
+ private:
+  RoundRobinArbiter rr_;
+};
+
+}  // namespace arinoc

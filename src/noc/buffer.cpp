@@ -1,0 +1,19 @@
+#include "noc/buffer.hpp"
+
+#include <cassert>
+
+namespace arinoc {
+
+void FlitBuffer::push(const Flit& f) {
+  assert(q_.size() < capacity_ && "FlitBuffer overflow");
+  q_.push_back(f);
+}
+
+Flit FlitBuffer::pop() {
+  assert(!q_.empty() && "FlitBuffer underflow");
+  Flit f = q_.front();
+  q_.pop_front();
+  return f;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,65 @@
+// Bounded flit FIFO used for VC buffers, NI injection queues and ejection
+// staging. Tracks occupancy statistics for the Fig. 6 experiment.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace arinoc {
+
+class FlitBuffer {
+ public:
+  explicit FlitBuffer(std::size_t capacity_flits = 0)
+      : capacity_(capacity_flits) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return q_.size(); }
+  std::size_t free_space() const { return capacity_ - q_.size(); }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= capacity_; }
+
+  /// True if a whole packet of `flits` flits fits right now.
+  bool fits(std::size_t flits) const { return free_space() >= flits; }
+
+  /// Push one flit. Caller must have checked capacity.
+  void push(const Flit& f);
+
+  const Flit& front() const { return q_.front(); }
+  Flit pop();
+
+  /// Flit at queue position i (0 = front); used by wide-link enqueue checks.
+  const Flit& at(std::size_t i) const { return q_[i]; }
+
+  void set_capacity(std::size_t capacity_flits) { capacity_ = capacity_flits; }
+  void clear() { q_.clear(); }
+
+  // Occupancy sampling (flits): updated on every push/pop.
+  std::uint64_t sample_count() const { return samples_; }
+  double mean_occupancy() const {
+    return samples_ ? occupancy_sum_ / static_cast<double>(samples_) : 0.0;
+  }
+  std::size_t peak_occupancy() const { return peak_; }
+  void reset_stats() {
+    samples_ = 0;
+    occupancy_sum_ = 0.0;
+    peak_ = 0;
+  }
+  /// Record one occupancy sample (called once per cycle by the owner).
+  void sample() {
+    ++samples_;
+    occupancy_sum_ += static_cast<double>(q_.size());
+    if (q_.size() > peak_) peak_ = q_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Flit> q_;
+  std::uint64_t samples_ = 0;
+  double occupancy_sum_ = 0.0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace arinoc

@@ -1,0 +1,19 @@
+// Flit: the unit of link transfer and buffering. Flits carry only a packet
+// reference plus head/tail markers; all per-packet metadata lives in the
+// PacketArena so buffered flits stay small.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+struct Flit {
+  PacketId pkt = kInvalidPacket;
+  bool head = false;
+  bool tail = false;
+  std::uint16_t seq = 0;  ///< Position within the packet (0 = head).
+
+  bool valid() const { return pkt != kInvalidPacket; }
+};
+
+}  // namespace arinoc

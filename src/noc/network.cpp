@@ -1,0 +1,180 @@
+#include "noc/network.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace arinoc {
+
+Network::Network(const NetworkParams& params, const Mesh* mesh)
+    : params_(params), mesh_(mesh) {
+  routers_.reserve(mesh->nodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
+    RouterParams rp;
+    rp.node = n;
+    rp.num_vcs = params.num_vcs;
+    rp.vc_depth_flits = params.vc_depth_flits;
+    rp.routing = params.routing;
+    rp.non_atomic_vc = params.non_atomic_vc;
+    rp.priority_levels = params.priority_levels;
+    rp.starvation_threshold = params.starvation_threshold;
+    rp.ejection_capacity_flits = 4 * params.vc_depth_flits;
+    const bool special = (params.treat_mcs_specially && mesh->is_mc(n)) ||
+                         (params.treat_ccs_specially && !mesh->is_mc(n));
+    rp.injection_speedup = special ? params.mc_injection_speedup : 1;
+    rp.num_injection_ports = special ? params.mc_injection_ports : 1;
+    routers_.push_back(std::make_unique<Router>(rp, mesh, &arena_));
+  }
+  // Wire neighbouring routers.
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const NodeId nb = mesh->neighbor(n, dir);
+      if (nb == kInvalidNode) continue;
+      routers_[static_cast<std::size_t>(n)]->connect_output(
+          dir, params.vc_depth_flits);
+      routers_[static_cast<std::size_t>(n)]->connect_input(dir);
+      ++num_internal_links_;
+    }
+  }
+  const std::size_t slots = std::max<std::uint32_t>(1, params.link_latency);
+  flit_ring_.resize(slots);
+  credit_ring_.resize(slots);
+}
+
+std::uint16_t Network::flits_for(PacketType type) const {
+  if (!is_long_packet(type)) return 1;
+  return static_cast<std::uint16_t>(
+      1 + ceil_div(data_payload_bits, params_.link_width_bits));
+}
+
+PacketId Network::make_packet(PacketType type, NodeId src, NodeId dest,
+                              std::uint8_t priority, std::uint64_t txn,
+                              Cycle now) {
+  ++stats_.packets_injected;
+  return arena_.create(type, src, dest, flits_for(type), priority, txn, now);
+}
+
+void Network::finish_packet(PacketId id, Cycle now) {
+  Packet& pkt = arena_.at(id);
+  pkt.ejected = now;
+  stats_.record_delivery(pkt, now);
+  arena_.retire(id);
+}
+
+void Network::step(Cycle now) {
+  // 1) Deliver flits and credits that finished traversing their links.
+  auto& due_flits = flit_ring_[ring_pos_];
+  for (const FlitEvent& e : due_flits) {
+    routers_[static_cast<std::size_t>(e.dst)]->receive_flit(e.in_dir, e.vc,
+                                                            e.flit);
+  }
+  due_flits.clear();
+  auto& due_credits = credit_ring_[ring_pos_];
+  for (const CreditEvent& e : due_credits) {
+    routers_[static_cast<std::size_t>(e.dst)]->receive_credit(e.out_dir, e.vc);
+  }
+  due_credits.clear();
+
+  // 2) Step every router; stage its outputs onto the link pipelines.
+  // Events pushed into the just-cleared slot resurface after exactly
+  // `link_latency` ring advances.
+  const std::size_t send_slot = ring_pos_;
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh_->nodes()); ++n) {
+    scratch_flits_.clear();
+    scratch_credits_.clear();
+    routers_[static_cast<std::size_t>(n)]->step(now, &scratch_flits_,
+                                                &scratch_credits_);
+    for (const OutboundFlit& of : scratch_flits_) {
+      const NodeId dst = mesh_->neighbor(n, of.out_dir);
+      assert(dst != kInvalidNode);
+      flit_ring_[send_slot].push_back(
+          {dst, opposite(of.out_dir), of.out_vc, of.flit});
+    }
+    for (const OutboundCredit& oc : scratch_credits_) {
+      const NodeId up = mesh_->neighbor(n, oc.in_dir);
+      assert(up != kInvalidNode);
+      credit_ring_[send_slot].push_back({up, opposite(oc.in_dir), oc.vc});
+    }
+  }
+
+  // 3) Advance the link pipeline.
+  ring_pos_ = (ring_pos_ + 1) % flit_ring_.size();
+}
+
+double Network::internal_link_utilization(Cycle elapsed) const {
+  if (elapsed == 0 || num_internal_links_ == 0) return 0.0;
+  std::uint64_t flits = 0;
+  for (const auto& r : routers_) {
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      flits += r->flits_sent(dir);
+    }
+  }
+  return static_cast<double>(flits) /
+         (static_cast<double>(elapsed) * num_internal_links_);
+}
+
+double Network::injection_link_utilization(
+    Cycle elapsed, const std::vector<NodeId>& nodes) const {
+  if (elapsed == 0 || nodes.empty()) return 0.0;
+  std::uint64_t flits = 0;
+  for (NodeId n : nodes) {
+    flits += routers_[static_cast<std::size_t>(n)]->flits_injected();
+  }
+  return static_cast<double>(flits) /
+         (static_cast<double>(elapsed) * nodes.size());
+}
+
+void Network::reset_stats() {
+  stats_.reset();
+  for (auto& r : routers_) r->reset_stats();
+}
+
+std::string Network::validate_credit_invariants() const {
+  for (NodeId u = 0; u < static_cast<NodeId>(mesh_->nodes()); ++u) {
+    const Router& up = *routers_[static_cast<std::size_t>(u)];
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      if (!up.output_is_connected(dir)) continue;
+      const NodeId v = mesh_->neighbor(u, dir);
+      const Router& down = *routers_[static_cast<std::size_t>(v)];
+      const int in_dir = opposite(dir);
+      for (std::uint32_t vc = 0; vc < params_.num_vcs; ++vc) {
+        std::uint32_t inflight_flits = 0;
+        std::uint32_t inflight_credits = 0;
+        for (const auto& slot : flit_ring_) {
+          for (const FlitEvent& e : slot) {
+            if (e.dst == v && e.in_dir == in_dir &&
+                e.vc == static_cast<int>(vc)) {
+              ++inflight_flits;
+            }
+          }
+        }
+        for (const auto& slot : credit_ring_) {
+          for (const CreditEvent& e : slot) {
+            if (e.dst == u && e.out_dir == dir &&
+                e.vc == static_cast<int>(vc)) {
+              ++inflight_credits;
+            }
+          }
+        }
+        const std::uint32_t total =
+            up.output_credits(dir, static_cast<int>(vc)) +
+            static_cast<std::uint32_t>(
+                down.input_buffered(in_dir, static_cast<int>(vc))) +
+            inflight_flits + inflight_credits;
+        if (total != params_.vc_depth_flits) {
+          std::ostringstream os;
+          os << "credit invariant violated on link " << u << "->" << v
+             << " dir " << direction_name(dir) << " vc " << vc << ": "
+             << up.output_credits(dir, static_cast<int>(vc)) << " credits + "
+             << down.input_buffered(in_dir, static_cast<int>(vc))
+             << " buffered + " << inflight_flits << " flits in flight + "
+             << inflight_credits << " credits in flight = " << total
+             << " != depth " << params_.vc_depth_flits;
+          return os.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace arinoc

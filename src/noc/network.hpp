@@ -1,0 +1,125 @@
+// A full mesh network instance: routers, pipelined links, credit return
+// paths, a packet arena and delivery statistics. The GPGPU system owns two
+// of these (request network and reply network, paper Fig. 2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "noc/noc_stats.hpp"
+#include "noc/packet.hpp"
+#include "noc/router.hpp"
+#include "noc/topology.hpp"
+
+namespace arinoc {
+
+/// Per-network geometry/behaviour knobs derived from Config by the caller
+/// (request and reply networks differ in link width and NI/router features).
+struct NetworkParams {
+  std::string name = "net";
+  std::uint32_t link_width_bits = 128;
+  std::uint32_t num_vcs = 4;
+  std::uint32_t vc_depth_flits = 5;
+  std::uint32_t link_latency = 1;
+  RoutingAlgo routing = RoutingAlgo::kXY;
+  bool non_atomic_vc = true;
+  std::uint32_t priority_levels = 1;
+  Cycle starvation_threshold = 1000;
+  /// Injection crossbar speedup at MC routers (ARI §4.2); non-MC routers
+  /// always use speedup 1 (the paper changes only MC-routers).
+  std::uint32_t mc_injection_speedup = 1;
+  /// Number of injection input ports at MC routers (MultiPort [3]).
+  std::uint32_t mc_injection_ports = 1;
+  /// Which nodes get the enhanced-router treatment (speedup / extra
+  /// ports). The paper applies it to MC routers of the reply network only;
+  /// treat_ccs_specially exists for the request-side negative control.
+  bool treat_mcs_specially = false;
+  bool treat_ccs_specially = false;
+};
+
+class Network {
+ public:
+  Network(const NetworkParams& params, const Mesh* mesh);
+
+  /// Advances the network by one cycle: delivers in-flight flits/credits,
+  /// then steps every router.
+  void step(Cycle now);
+
+  Router& router(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
+  const Router& router(NodeId n) const {
+    return *routers_[static_cast<std::size_t>(n)];
+  }
+
+  PacketArena& arena() { return arena_; }
+  const Mesh& mesh() const { return *mesh_; }
+  const NetworkParams& params() const { return params_; }
+
+  /// Creates a packet sized for this network's link width.
+  PacketId make_packet(PacketType type, NodeId src, NodeId dest,
+                       std::uint8_t priority, std::uint64_t txn, Cycle now);
+  /// Number of flits a packet of `type` occupies on this network.
+  std::uint16_t flits_for(PacketType type) const;
+
+  /// Records delivery stats and retires the packet. Called by ejection NIs
+  /// after the sink has consumed the payload.
+  void finish_packet(PacketId id, Cycle now);
+
+  /// Un-creates a packet that was never accepted by an NI (the sender keeps
+  /// the data and retries later).
+  void abandon_packet(PacketId id) {
+    --stats_.packets_injected;
+    arena_.retire(id);
+  }
+
+  NocStats& stats() { return stats_; }
+  const NocStats& stats() const { return stats_; }
+
+  // ---- Link-utilization probes (paper §3) ----
+  /// Mean flits/cycle over all connected router-to-router links.
+  double internal_link_utilization(Cycle elapsed) const;
+  /// Mean flits/cycle over NI->router injection links of the given nodes.
+  double injection_link_utilization(Cycle elapsed,
+                                    const std::vector<NodeId>& nodes) const;
+  void reset_stats();
+
+  /// Verifies the credit-conservation invariant on every link: upstream
+  /// credits + downstream buffered flits + in-flight flits + in-flight
+  /// credits == VC depth. Returns an empty string, or a description of the
+  /// first violation (a lost/duplicated credit or flit).
+  std::string validate_credit_invariants() const;
+
+  /// Payload bits configured for long packets on this network.
+  std::uint32_t data_payload_bits = 512;
+
+ private:
+  struct FlitEvent {
+    NodeId dst;
+    int in_dir;
+    int vc;
+    Flit flit;
+  };
+  struct CreditEvent {
+    NodeId dst;
+    int out_dir;
+    int vc;
+  };
+
+  NetworkParams params_;
+  const Mesh* mesh_;
+  PacketArena arena_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  // Ring buffers implementing link pipeline latency.
+  std::vector<std::vector<FlitEvent>> flit_ring_;
+  std::vector<std::vector<CreditEvent>> credit_ring_;
+  std::size_t ring_pos_ = 0;
+  std::uint32_t num_internal_links_ = 0;
+  NocStats stats_;
+  // Scratch buffers reused across cycles.
+  std::vector<OutboundFlit> scratch_flits_;
+  std::vector<OutboundCredit> scratch_credits_;
+};
+
+}  // namespace arinoc

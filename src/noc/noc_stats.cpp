@@ -1,0 +1,35 @@
+#include "noc/noc_stats.hpp"
+
+namespace arinoc {
+
+void NocStats::record_delivery(const Packet& pkt, Cycle now) {
+  const auto idx = static_cast<std::size_t>(pkt.type);
+  latency[idx].add(static_cast<double>(now - pkt.created));
+  if (pkt.injected >= pkt.created) {
+    ni_wait.add(static_cast<double>(pkt.injected - pkt.created));
+    net_transit.add(static_cast<double>(now - pkt.injected));
+  }
+  flits_delivered[idx] += pkt.num_flits;
+  packets_delivered[idx] += 1;
+}
+
+void NocStats::reset() {
+  for (auto& a : latency) a.reset();
+  ni_wait.reset();
+  net_transit.reset();
+  flits_delivered = {};
+  packets_delivered = {};
+  packets_injected = 0;
+}
+
+double NocStats::mean_latency_all() const {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& a : latency) {
+    sum += a.sum();
+    n += a.count();
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,46 @@
+// Aggregated per-network statistics: packet latencies split by type, flit
+// counts per type (Fig. 5), and link-utilization probes (§3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+
+namespace arinoc {
+
+struct NocStats {
+  /// Latency from NI enqueue to tail ejection, indexed by PacketType.
+  std::array<Accumulator, 4> latency;
+  /// Decomposition: time waiting in the source NI (enqueue -> first flit
+  /// into the router) and time in the network (injection -> tail ejection).
+  Accumulator ni_wait;
+  Accumulator net_transit;
+  /// Flits delivered, indexed by PacketType (traffic-load weighting).
+  std::array<std::uint64_t, 4> flits_delivered{};
+  std::array<std::uint64_t, 4> packets_delivered{};
+  std::uint64_t packets_injected = 0;
+
+  void record_delivery(const Packet& pkt, Cycle now);
+  void reset();
+
+  double mean_latency(PacketType t) const {
+    return latency[static_cast<std::size_t>(t)].mean();
+  }
+  std::uint64_t total_flits() const {
+    std::uint64_t s = 0;
+    for (auto f : flits_delivered) s += f;
+    return s;
+  }
+  std::uint64_t total_packets() const {
+    std::uint64_t s = 0;
+    for (auto p : packets_delivered) s += p;
+    return s;
+  }
+  /// Mean latency over all delivered packets.
+  double mean_latency_all() const;
+};
+
+}  // namespace arinoc

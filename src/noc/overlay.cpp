@@ -1,0 +1,130 @@
+#include "noc/overlay.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace arinoc {
+
+Da2MeshOverlay::Da2MeshOverlay(const OverlayParams& params, const Mesh* mesh)
+    : params_(params),
+      mesh_(mesh),
+      mc_index_(mesh->nodes(), -1),
+      sinks_(mesh->nodes(), nullptr) {
+  const auto& mcs = mesh->mc_nodes();
+  endpoints_.resize(mcs.size());
+  for (std::size_t i = 0; i < mcs.size(); ++i) {
+    mc_index_[static_cast<std::size_t>(mcs[i])] = static_cast<int>(i);
+    McEndpoint& ep = endpoints_[i];
+    const std::uint32_t nqueues = params.ari ? params.lanes : 1;
+    const std::uint32_t long_flits = flits_for(PacketType::kReadReply);
+    const std::uint32_t per_queue = std::max(
+        params.queue_flits / nqueues, long_flits);
+    ep.queues.resize(nqueues);
+    for (auto& q : ep.queues) q.capacity_flits = per_queue;
+    ep.lanes.resize(params.lanes);
+  }
+}
+
+std::uint16_t Da2MeshOverlay::flits_for(PacketType type) const {
+  if (!is_long_packet(type)) return 1;
+  return static_cast<std::uint16_t>(
+      1 + ceil_div(params_.data_payload_bits, params_.link_width_bits));
+}
+
+Da2MeshOverlay::McEndpoint& Da2MeshOverlay::endpoint(NodeId mc) {
+  const int idx = mc_index_[static_cast<std::size_t>(mc)];
+  assert(idx >= 0 && "node is not an MC");
+  return endpoints_[static_cast<std::size_t>(idx)];
+}
+
+void Da2MeshOverlay::set_sink(NodeId cc, PacketSink* sink) {
+  sinks_[static_cast<std::size_t>(cc)] = sink;
+}
+
+PacketId Da2MeshOverlay::make_packet(PacketType type, NodeId src, NodeId dest,
+                                     std::uint64_t txn, Cycle now) {
+  ++stats_.packets_injected;
+  return arena_.create(type, src, dest, flits_for(type), 0, txn, now);
+}
+
+bool Da2MeshOverlay::try_accept(NodeId mc, PacketId id, Cycle now) {
+  McEndpoint& ep = endpoint(mc);
+  const Packet& pkt = arena_.at(id);
+  for (std::size_t k = 0; k < ep.queues.size(); ++k) {
+    const std::size_t qi = (ep.accept_rr + k) % ep.queues.size();
+    NiQueue& q = ep.queues[qi];
+    if (q.flits + pkt.num_flits > q.capacity_flits) continue;
+    q.pkts.push_back(id);
+    q.flits += pkt.num_flits;
+    ep.accept_rr = (qi + 1) % ep.queues.size();
+    arena_.at(id).created = now;
+    return true;
+  }
+  return false;
+}
+
+void Da2MeshOverlay::step(Cycle now) {
+  // Deliver packets whose overlay flight completed.
+  for (std::size_t i = 0; i < in_flight_.size();) {
+    if (in_flight_[i].arrive <= now) {
+      const PacketId id = in_flight_[i].pkt;
+      Packet& pkt = arena_.at(id);
+      pkt.ejected = now;
+      if (PacketSink* sink = sinks_[static_cast<std::size_t>(pkt.dest)]) {
+        sink->deliver(pkt, now);
+      }
+      stats_.record_delivery(pkt, now);
+      arena_.retire(id);
+      in_flight_[i] = in_flight_.back();
+      in_flight_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  for (McEndpoint& ep : endpoints_) {
+    // Plain DA2mesh: only lane 0 can be fed (single narrow NI read port);
+    // ARI: queue i feeds lane i, all lanes concurrently.
+    const std::size_t active_lanes = params_.ari ? ep.lanes.size() : 1;
+    for (std::size_t li = 0; li < active_lanes; ++li) {
+      Lane& lane = ep.lanes[li];
+      NiQueue& q = ep.queues[params_.ari ? li : 0];
+      if (lane.busy_pkt == kInvalidPacket && !q.pkts.empty()) {
+        lane.busy_pkt = q.pkts.front();
+        q.pkts.pop_front();
+        Packet& pkt = arena_.at(lane.busy_pkt);
+        pkt.injected = now;
+        q.flits -= pkt.num_flits;
+        lane.flits_left = pkt.num_flits;
+        lane.rate_accum = 0.0;
+      }
+      if (lane.busy_pkt == kInvalidPacket) continue;
+      // Serialize at the lane rate; the plain-mode lane is additionally
+      // capped at 1 flit/cycle by the NI read port.
+      const double rate =
+          params_.ari ? params_.lane_rate : std::min(params_.lane_rate, 1.0);
+      lane.rate_accum += rate;
+      while (lane.rate_accum >= 1.0 && lane.flits_left > 0) {
+        lane.rate_accum -= 1.0;
+        --lane.flits_left;
+      }
+      if (lane.flits_left == 0) {
+        in_flight_.push_back(
+            {lane.busy_pkt, now + params_.base_wire_latency});
+        lane.busy_pkt = kInvalidPacket;
+      }
+    }
+  }
+}
+
+std::size_t Da2MeshOverlay::occupancy_flits(NodeId mc) const {
+  const int idx = mc_index_[static_cast<std::size_t>(mc)];
+  assert(idx >= 0);
+  std::size_t s = 0;
+  for (const auto& q : endpoints_[static_cast<std::size_t>(idx)].queues) {
+    s += q.flits;
+  }
+  return s;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,55 @@
+#include "noc/packet.hpp"
+
+#include <cassert>
+
+namespace arinoc {
+
+const char* packet_type_name(PacketType t) {
+  switch (t) {
+    case PacketType::kReadRequest: return "read_request";
+    case PacketType::kWriteRequest: return "write_request";
+    case PacketType::kReadReply: return "read_reply";
+    case PacketType::kWriteReply: return "write_reply";
+  }
+  return "?";
+}
+
+PacketId PacketArena::create(PacketType type, NodeId src, NodeId dest,
+                             std::uint16_t num_flits, std::uint8_t priority,
+                             std::uint64_t txn, Cycle now) {
+  PacketId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<PacketId>(slots_.size());
+    slots_.emplace_back();
+  }
+  Packet& p = slots_[id];
+  p = Packet{};
+  p.type = type;
+  p.src = src;
+  p.dest = dest;
+  p.num_flits = num_flits;
+  p.priority = priority;
+  p.txn = txn;
+  p.created = now;
+  return id;
+}
+
+void PacketArena::retire(PacketId id) {
+  assert(id < slots_.size());
+  free_.push_back(id);
+}
+
+Flit PacketArena::flit_of(PacketId id, std::uint16_t seq,
+                          std::uint16_t num_flits) {
+  Flit f;
+  f.pkt = id;
+  f.seq = seq;
+  f.head = (seq == 0);
+  f.tail = (seq + 1 == num_flits);
+  return f;
+}
+
+}  // namespace arinoc

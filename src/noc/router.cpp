@@ -1,0 +1,320 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace arinoc {
+
+namespace {
+constexpr int kEjectPort = kNumDirections;  // Output port index 4.
+constexpr std::uint32_t kNumOutputs = kNumDirections + 1;
+}  // namespace
+
+Router::Router(const RouterParams& params, const Mesh* mesh,
+               PacketArena* arena)
+    : params_(params),
+      mesh_(mesh),
+      arena_(arena),
+      input_vcs_(num_inputs() * params.num_vcs),
+      output_vcs_(kNumOutputs * params.num_vcs),
+      output_connected_(kNumDirections, false),
+      input_connected_(kNumDirections, false),
+      ejection_buf_(params.ejection_capacity_flits),
+      input_rr_(num_inputs(), 0),
+      output_arb_(kNumOutputs) {
+  for (auto& v : input_vcs_) v.buf.set_capacity(params.vc_depth_flits);
+  for (std::uint32_t o = 0; o < kNumOutputs; ++o) {
+    output_arb_[o].resize(num_inputs() * params.num_vcs);
+    for (std::uint32_t vc = 0; vc < params.num_vcs; ++vc) {
+      // Ejection "credits" are handled through the shared ejection buffer.
+      ovc(static_cast<int>(o), static_cast<int>(vc)).credits = 0;
+    }
+  }
+}
+
+void Router::connect_output(int dir, std::uint32_t downstream_depth_flits) {
+  assert(dir >= 0 && dir < kNumDirections);
+  output_connected_[static_cast<std::size_t>(dir)] = true;
+  for (std::uint32_t vc = 0; vc < params_.num_vcs; ++vc) {
+    ovc(dir, static_cast<int>(vc)).credits = downstream_depth_flits;
+  }
+}
+
+void Router::connect_input(int dir) {
+  assert(dir >= 0 && dir < kNumDirections);
+  input_connected_[static_cast<std::size_t>(dir)] = true;
+}
+
+void Router::receive_flit(int dir, int vc, const Flit& flit) {
+  InputVC& v = ivc(dir, vc);
+  assert(!v.buf.full() && "credit protocol violated");
+  if (v.buf.empty()) v.wait_since = 0;  // refreshed at route_stage
+  v.buf.push(flit);
+}
+
+void Router::receive_credit(int dir, int vc) {
+  OutputVC& o = ovc(dir, vc);
+  ++o.credits;
+}
+
+std::uint32_t Router::injection_free(std::uint32_t ip, std::uint32_t vc) const {
+  return static_cast<std::uint32_t>(
+      ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc))
+          .buf.free_space());
+}
+
+bool Router::injection_vc_ready(std::uint32_t ip, std::uint32_t vc,
+                                std::uint32_t flits) const {
+  const InputVC& v =
+      ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc));
+  const std::uint32_t need =
+      std::min<std::uint32_t>(flits, params_.vc_depth_flits);
+  if (params_.non_atomic_vc) {
+    return v.buf.free_space() >= need;
+  }
+  return v.buf.empty() && v.state == InputVC::State::kIdle;
+}
+
+void Router::inject_flit(std::uint32_t ip, std::uint32_t vc, const Flit& flit,
+                         Cycle now) {
+  InputVC& v = ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc));
+  assert(!v.buf.full() && "injection overflow");
+  v.buf.push(flit);
+  if (flit.head) arena_->at(flit.pkt).injected = now;
+  ++injected_flit_count_;
+}
+
+Flit Router::pop_ejected_flit() { return ejection_buf_.pop(); }
+
+void Router::reset_stats() {
+  for (auto& c : out_flit_count_) c = 0;
+  injected_flit_count_ = 0;
+  ejected_flit_count_ = 0;
+  crossbar_count_ = 0;
+}
+
+std::uint32_t Router::output_free_space(int out_port, int out_vc) const {
+  if (out_port == kEjectPort) {
+    return static_cast<std::uint32_t>(ejection_buf_.free_space());
+  }
+  return output_vcs_[static_cast<std::size_t>(out_port) * params_.num_vcs +
+                     static_cast<std::size_t>(out_vc)]
+      .credits;
+}
+
+bool Router::output_vc_admits(int out_port, int vc,
+                              std::uint32_t flits) const {
+  const OutputVC& o =
+      output_vcs_[static_cast<std::size_t>(out_port) * params_.num_vcs +
+                  static_cast<std::size_t>(vc)];
+  if (o.owner != kInvalidPacket) return false;
+  if (out_port == kEjectPort) {
+    const std::uint32_t need = std::min<std::uint32_t>(
+        flits, params_.ejection_capacity_flits);
+    return ejection_buf_.free_space() >= need;
+  }
+  if (!output_connected_[static_cast<std::size_t>(out_port)]) return false;
+  if (params_.non_atomic_vc) {
+    // Whole-packet forwarding: admit a new packet whenever the full packet
+    // fits in the downstream free space, even if the VC is still draining.
+    const std::uint32_t need =
+        std::min<std::uint32_t>(flits, params_.vc_depth_flits);
+    return o.credits >= need;
+  }
+  return o.credits == params_.vc_depth_flits;  // Atomic: must be empty.
+}
+
+bool Router::output_ready_for_flit(int out_port, int out_vc) const {
+  if (out_port == kEjectPort) return !ejection_buf_.full();
+  return output_vcs_[static_cast<std::size_t>(out_port) * params_.num_vcs +
+                     static_cast<std::size_t>(out_vc)]
+             .credits >= 1;
+}
+
+std::uint32_t Router::effective_priority(const InputVC& v, Cycle now) const {
+  if (params_.priority_levels <= 1) return 0;
+  const Packet& pkt = arena_->at(v.buf.front().pkt);
+  if (params_.starvation_threshold > 0 && v.wait_since > 0 &&
+      now - v.wait_since > params_.starvation_threshold) {
+    // §5: grant starving traffic the top level so injection packets cannot
+    // monopolize the switch indefinitely.
+    return params_.priority_levels - 1;
+  }
+  return pkt.priority;
+}
+
+void Router::route_stage(Cycle now) {
+  for (std::uint32_t p = 0; p < num_inputs(); ++p) {
+    for (std::uint32_t vc = 0; vc < params_.num_vcs; ++vc) {
+      InputVC& v = ivc(static_cast<int>(p), static_cast<int>(vc));
+      if (v.state != InputVC::State::kIdle || v.buf.empty()) continue;
+      const Flit& f = v.buf.front();
+      assert(f.head && "non-head flit at idle VC front");
+      Packet& pkt = arena_->at(f.pkt);
+      v.route = compute_route(*mesh_, params_.node, pkt.dest, params_.routing);
+      v.route_valid = true;
+      v.state = InputVC::State::kWaitVC;
+      v.wait_since = now;
+      // §5: the RC unit decrements the priority field of every packet it
+      // routes, except at the packet's own injection router where the
+      // injection boost must still apply during switch allocation.
+      if (!is_injection_port(static_cast<int>(p)) && pkt.priority > 0) {
+        --pkt.priority;
+      }
+    }
+  }
+}
+
+void Router::vc_alloc_stage(Cycle now) {
+  // With prioritization enabled, high-priority (injecting) packets get the
+  // first pass at output-VC allocation — part of transferring them out of
+  // the "hot region" quickly (§5).
+  const std::uint32_t passes = params_.priority_levels;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    const std::uint32_t wanted = passes - 1 - pass;
+    vc_alloc_pass(now, wanted, passes > 1);
+  }
+  va_rr_ = (va_rr_ + 1) % input_vcs_.size();
+}
+
+void Router::vc_alloc_pass(Cycle now, std::uint32_t wanted_priority,
+                           bool filter) {
+  const std::size_t total = input_vcs_.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t idx = (va_rr_ + i) % total;
+    InputVC& v = input_vcs_[idx];
+    if (v.state != InputVC::State::kWaitVC) continue;
+    if (filter && effective_priority(v, now) != wanted_priority) continue;
+    const Packet& pkt = arena_->at(v.buf.front().pkt);
+    const std::uint32_t flits = pkt.num_flits;
+
+    // Candidate output ports, best-credit first for adaptive routing.
+    std::vector<int> ports = v.route.minimal;
+    if (ports.size() > 1) {
+      std::stable_sort(ports.begin(), ports.end(), [&](int a, int b) {
+        std::uint32_t ca = 0, cb = 0;
+        for (std::uint32_t vc = 0; vc < params_.num_vcs; ++vc) {
+          ca += output_free_space(a, static_cast<int>(vc));
+          cb += output_free_space(b, static_cast<int>(vc));
+        }
+        return ca > cb;
+      });
+    }
+
+    int got_port = -1, got_vc = -1;
+    const bool adaptive = params_.routing == RoutingAlgo::kMinAdaptive;
+    const int eject = kEjectPort;
+    for (int port_dir : ports) {
+      const int out = port_dir == kLocal ? eject : port_dir;
+      const std::uint32_t first_vc =
+          (adaptive && out != eject) ? 1 : 0;  // VC0 = escape lane.
+      for (std::uint32_t vc = first_vc; vc < params_.num_vcs; ++vc) {
+        if (output_vc_admits(out, static_cast<int>(vc), flits)) {
+          got_port = out;
+          got_vc = static_cast<int>(vc);
+          break;
+        }
+      }
+      if (got_port != -1) break;
+    }
+    if (got_port == -1 && adaptive && v.route.xy != kLocal) {
+      // Escape fallback: VC0 along the deadlock-free XY direction.
+      if (output_vc_admits(v.route.xy, 0, flits)) {
+        got_port = v.route.xy;
+        got_vc = 0;
+      }
+    }
+    if (got_port != -1) {
+      ovc(got_port, got_vc).owner = v.buf.front().pkt;
+      v.out_port = got_port;
+      v.out_vc = got_vc;
+      v.state = InputVC::State::kActive;
+    }
+  }
+}
+
+void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
+                          std::vector<OutboundCredit>* out_credits) {
+  // ---- Input arbitration: each port nominates candidates. Normal input
+  // ports hold one switch port; injection ports hold S of them (§4.2). ----
+  struct OutputRequest {
+    std::vector<bool> req;
+    std::vector<std::uint32_t> key;
+  };
+  std::vector<OutputRequest> requests(kNumOutputs);
+  const std::size_t slots = num_inputs() * params_.num_vcs;
+  for (auto& r : requests) {
+    r.req.assign(slots, false);
+    r.key.assign(slots, 0);
+  }
+
+  for (std::uint32_t p = 0; p < num_inputs(); ++p) {
+    const std::uint32_t budget =
+        is_injection_port(static_cast<int>(p)) ? params_.injection_speedup : 1;
+    std::uint32_t used = 0;
+    bool port_taken[kNumOutputs] = {};
+    for (std::uint32_t k = 0; k < params_.num_vcs && used < budget; ++k) {
+      const std::uint32_t vc =
+          static_cast<std::uint32_t>((input_rr_[p] + k) % params_.num_vcs);
+      InputVC& v = ivc(static_cast<int>(p), static_cast<int>(vc));
+      if (v.state != InputVC::State::kActive || v.buf.empty()) continue;
+      if (!output_ready_for_flit(v.out_port, v.out_vc)) continue;
+      if (port_taken[v.out_port]) continue;
+      port_taken[v.out_port] = true;
+      ++used;
+      const std::size_t slot =
+          static_cast<std::size_t>(p) * params_.num_vcs + vc;
+      requests[static_cast<std::size_t>(v.out_port)].req[slot] = true;
+      requests[static_cast<std::size_t>(v.out_port)].key[slot] =
+          effective_priority(v, now);
+    }
+    input_rr_[p] = (input_rr_[p] + 1) % params_.num_vcs;
+  }
+
+  // ---- Output arbitration + switch traversal. ----
+  for (std::uint32_t o = 0; o < kNumOutputs; ++o) {
+    const int winner = output_arb_[o].pick(requests[o].req, requests[o].key);
+    if (winner < 0) continue;
+    const int p = winner / static_cast<int>(params_.num_vcs);
+    const int vc = winner % static_cast<int>(params_.num_vcs);
+    InputVC& v = ivc(p, vc);
+    Flit f = v.buf.pop();
+    ++crossbar_count_;
+    v.wait_since = now;
+
+    if (static_cast<int>(o) == kEjectPort) {
+      assert(!ejection_buf_.full());
+      ejection_buf_.push(f);
+      ++ejected_flit_count_;
+      ++out_flit_count_[kEjectPort];
+    } else {
+      OutputVC& out = ovc(static_cast<int>(o), v.out_vc);
+      assert(out.credits >= 1);
+      --out.credits;
+      out_flits->push_back(
+          {static_cast<int>(o), v.out_vc, f});
+      ++out_flit_count_[o];
+    }
+    // Return a credit upstream for direction inputs; injection buffers are
+    // observed directly by the same-tile NI.
+    if (!is_injection_port(p)) {
+      out_credits->push_back({p, vc});
+    }
+    if (f.tail) {
+      ovc(static_cast<int>(o), v.out_vc).owner = kInvalidPacket;
+      v.state = InputVC::State::kIdle;
+      v.out_port = -1;
+      v.out_vc = -1;
+      v.route_valid = false;
+    }
+  }
+}
+
+void Router::step(Cycle now, std::vector<OutboundFlit>* out_flits,
+                  std::vector<OutboundCredit>* out_credits) {
+  route_stage(now);
+  vc_alloc_stage(now);
+  switch_stage(now, out_flits, out_credits);
+}
+
+}  // namespace arinoc

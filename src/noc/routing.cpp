@@ -1,0 +1,33 @@
+#include "noc/routing.hpp"
+
+namespace arinoc {
+
+RouteCandidates compute_route(const Mesh& mesh, NodeId here, NodeId dest,
+                              RoutingAlgo algo) {
+  RouteCandidates rc;
+  if (here == dest) {
+    rc.minimal.push_back(kLocal);
+    rc.xy = kLocal;
+    return rc;
+  }
+  const int hx = static_cast<int>(mesh.x_of(here));
+  const int hy = static_cast<int>(mesh.y_of(here));
+  const int dx = static_cast<int>(mesh.x_of(dest));
+  const int dy = static_cast<int>(mesh.y_of(dest));
+
+  const int x_dir = dx > hx ? kEast : (dx < hx ? kWest : -1);
+  const int y_dir = dy > hy ? kSouth : (dy < hy ? kNorth : -1);
+
+  // XY dimension order: exhaust X first.
+  rc.xy = x_dir != -1 ? x_dir : y_dir;
+
+  if (algo == RoutingAlgo::kXY) {
+    rc.minimal.push_back(rc.xy);
+  } else {
+    if (x_dir != -1) rc.minimal.push_back(x_dir);
+    if (y_dir != -1) rc.minimal.push_back(y_dir);
+  }
+  return rc;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,31 @@
+// Route computation: XY dimension-order and minimal adaptive routing.
+//
+// Adaptive routing is made deadlock-free with an escape virtual channel
+// (Duato): VC 0 of every port is the escape lane and only ever follows the
+// XY route; VCs 1..V-1 may take any minimal direction. Whole-packet
+// forwarding (WPF, Ma et al. HPCA'12) is applied at VC allocation so the
+// adaptive lanes can be reallocated non-atomically without deadlock.
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/topology.hpp"
+
+namespace arinoc {
+
+struct RouteCandidates {
+  /// Minimal productive output directions (1 or 2 entries), or kLocal when
+  /// the packet has arrived.
+  std::vector<int> minimal;
+  /// The XY dimension-order direction (always a member of `minimal`).
+  int xy = kLocal;
+};
+
+/// Computes the candidate output ports for a packet at `here` going to
+/// `dest`. `algo` selects whether the full minimal set or only the XY
+/// direction is productive for adaptive VCs.
+RouteCandidates compute_route(const Mesh& mesh, NodeId here, NodeId dest,
+                              RoutingAlgo algo);
+
+}  // namespace arinoc

@@ -1,0 +1,165 @@
+#include "noc/topology.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace arinoc {
+
+const char* direction_name(int dir) {
+  switch (dir) {
+    case kNorth: return "N";
+    case kEast: return "E";
+    case kSouth: return "S";
+    case kWest: return "W";
+    case kLocal: return "L";
+  }
+  return "?";
+}
+
+int opposite(int dir) {
+  switch (dir) {
+    case kNorth: return kSouth;
+    case kSouth: return kNorth;
+    case kEast: return kWest;
+    case kWest: return kEast;
+  }
+  return dir;
+}
+
+const char* placement_name(McPlacement p) {
+  switch (p) {
+    case McPlacement::kDiamond: return "diamond";
+    case McPlacement::kTopBottom: return "top-bottom";
+    case McPlacement::kColumn: return "column";
+  }
+  return "?";
+}
+
+Mesh::Mesh(std::uint32_t width, std::uint32_t height, std::uint32_t num_mcs,
+           McPlacement placement)
+    : width_(width), height_(height), is_mc_(width * height, false) {
+  assert(num_mcs < nodes());
+  switch (placement) {
+    case McPlacement::kDiamond:
+      place_mcs_diamond(num_mcs);
+      break;
+    case McPlacement::kTopBottom:
+      place_mcs_top_bottom(num_mcs);
+      break;
+    case McPlacement::kColumn:
+      place_mcs_column(num_mcs);
+      break;
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes()); ++n) {
+    if (is_mc_[static_cast<std::size_t>(n)]) {
+      mc_nodes_.push_back(n);
+    } else {
+      cc_nodes_.push_back(n);
+    }
+  }
+}
+
+NodeId Mesh::neighbor(NodeId n, int dir) const {
+  const std::uint32_t x = x_of(n);
+  const std::uint32_t y = y_of(n);
+  switch (dir) {
+    case kNorth: return y > 0 ? node_at(x, y - 1) : kInvalidNode;
+    case kSouth: return y + 1 < height_ ? node_at(x, y + 1) : kInvalidNode;
+    case kWest: return x > 0 ? node_at(x - 1, y) : kInvalidNode;
+    case kEast: return x + 1 < width_ ? node_at(x + 1, y) : kInvalidNode;
+  }
+  return kInvalidNode;
+}
+
+std::uint32_t Mesh::hops(NodeId a, NodeId b) const {
+  const auto dx = std::abs(static_cast<int>(x_of(a)) - static_cast<int>(x_of(b)));
+  const auto dy = std::abs(static_cast<int>(y_of(a)) - static_cast<int>(y_of(b)));
+  return static_cast<std::uint32_t>(dx + dy);
+}
+
+std::uint32_t Mesh::bisection_links() const {
+  // Vertical cut through the middle: `height` bidirectional link pairs,
+  // i.e. 2*height uni-directional links.
+  return 2 * height_;
+}
+
+void Mesh::place_mcs_diamond(std::uint32_t num_mcs) {
+  // Deterministic farthest-point placement biased toward interior nodes.
+  // Reproduces the intent of the diamond placement (Abts et al.): MCs spread
+  // apart so reply traffic is not concentrated on one mesh region, and kept
+  // off corners where routers have fewer links.
+  auto degree = [&](NodeId n) {
+    int d = 0;
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      if (neighbor(n, dir) != kInvalidNode) ++d;
+    }
+    return static_cast<std::uint32_t>(d);
+  };
+
+  // Seed near the top-center: matches hand-drawn diamond layouts.
+  NodeId seed = node_at(width_ / 2, height_ > 2 ? 1 : 0);
+  is_mc_[static_cast<std::size_t>(seed)] = true;
+
+  for (std::uint32_t placed = 1; placed < num_mcs; ++placed) {
+    NodeId best = kInvalidNode;
+    std::uint32_t best_score = 0;
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes()); ++n) {
+      if (is_mc_[static_cast<std::size_t>(n)]) continue;
+      // Corners (degree 2) make poor MC routers: fewer links to fan reply
+      // traffic out. Skip them whenever the mesh offers alternatives.
+      if (degree(n) <= 2 && nodes() > num_mcs + 4) continue;
+      std::uint32_t min_dist = width_ + height_;
+      for (NodeId m = 0; m < static_cast<NodeId>(nodes()); ++m) {
+        if (is_mc_[static_cast<std::size_t>(m)] && hops(n, m) < min_dist) {
+          min_dist = hops(n, m);
+        }
+      }
+      const std::uint32_t score = 4 * min_dist + degree(n);
+      if (best == kInvalidNode || score > best_score) {
+        best = n;
+        best_score = score;
+      }
+    }
+    is_mc_[static_cast<std::size_t>(best)] = true;
+  }
+}
+
+void Mesh::place_mcs_top_bottom(std::uint32_t num_mcs) {
+  // Half the MCs spread along row 0, half along the bottom row — the
+  // classic GPU floorplan the diamond placement improves upon.
+  const std::uint32_t top = (num_mcs + 1) / 2;
+  const std::uint32_t bottom = num_mcs - top;
+  for (std::uint32_t k = 0; k < top; ++k) {
+    const std::uint32_t x = (k * width_ + width_ / 2) / top % width_;
+    NodeId n = node_at(x, 0);
+    while (is_mc_[static_cast<std::size_t>(n)]) {
+      n = node_at((x_of(n) + 1) % width_, 0);
+    }
+    is_mc_[static_cast<std::size_t>(n)] = true;
+  }
+  for (std::uint32_t k = 0; k < bottom; ++k) {
+    const std::uint32_t x = (k * width_ + width_ / 2) / bottom % width_;
+    NodeId n = node_at(x, height_ - 1);
+    while (is_mc_[static_cast<std::size_t>(n)]) {
+      n = node_at((x_of(n) + 1) % width_, height_ - 1);
+    }
+    is_mc_[static_cast<std::size_t>(n)] = true;
+  }
+}
+
+void Mesh::place_mcs_column(std::uint32_t num_mcs) {
+  // Stack MCs down the two center columns (clustered: worst-case reply
+  // injection concentration, used as an ablation reference).
+  std::uint32_t placed = 0;
+  for (std::uint32_t y = 0; y < height_ && placed < num_mcs; ++y) {
+    for (std::uint32_t dx = 0; dx < 2 && placed < num_mcs; ++dx) {
+      const NodeId n = node_at(width_ / 2 - 1 + dx, y);
+      if (!is_mc_[static_cast<std::size_t>(n)]) {
+        is_mc_[static_cast<std::size_t>(n)] = true;
+        ++placed;
+      }
+    }
+  }
+}
+
+}  // namespace arinoc

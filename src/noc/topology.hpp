@@ -1,0 +1,70 @@
+// 2D mesh topology with diamond memory-controller placement (Abts et al.,
+// paper Table I). Maps node ids to coordinates, enumerates neighbour links,
+// and designates which nodes are MCs vs compute clusters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace arinoc {
+
+/// Mesh port directions; kLocal is injection/ejection.
+enum Direction : int {
+  kNorth = 0,
+  kEast = 1,
+  kSouth = 2,
+  kWest = 3,
+  kNumDirections = 4,
+  kLocal = 4,
+};
+
+const char* direction_name(int dir);
+
+/// Opposite direction (link endpoint pairing).
+int opposite(int dir);
+
+class Mesh {
+ public:
+  Mesh(std::uint32_t width, std::uint32_t height, std::uint32_t num_mcs,
+       McPlacement placement = McPlacement::kDiamond);
+
+  std::uint32_t width() const { return width_; }
+  std::uint32_t height() const { return height_; }
+  std::uint32_t nodes() const { return width_ * height_; }
+
+  std::uint32_t x_of(NodeId n) const { return static_cast<std::uint32_t>(n) % width_; }
+  std::uint32_t y_of(NodeId n) const { return static_cast<std::uint32_t>(n) / width_; }
+  NodeId node_at(std::uint32_t x, std::uint32_t y) const {
+    return static_cast<NodeId>(y * width_ + x);
+  }
+
+  /// Neighbour of n in direction dir, or kInvalidNode at the mesh edge.
+  NodeId neighbor(NodeId n, int dir) const;
+
+  /// Minimal hop count between two nodes.
+  std::uint32_t hops(NodeId a, NodeId b) const;
+
+  bool is_mc(NodeId n) const { return is_mc_[static_cast<std::size_t>(n)]; }
+  const std::vector<NodeId>& mc_nodes() const { return mc_nodes_; }
+  const std::vector<NodeId>& cc_nodes() const { return cc_nodes_; }
+
+  /// Uni-directional links crossing the vertical bisection (for the
+  /// bisection-bandwidth argument in paper §3).
+  std::uint32_t bisection_links() const;
+
+ private:
+  void place_mcs_diamond(std::uint32_t num_mcs);
+  void place_mcs_top_bottom(std::uint32_t num_mcs);
+  void place_mcs_column(std::uint32_t num_mcs);
+
+  std::uint32_t width_;
+  std::uint32_t height_;
+  std::vector<bool> is_mc_;
+  std::vector<NodeId> mc_nodes_;
+  std::vector<NodeId> cc_nodes_;
+};
+
+}  // namespace arinoc

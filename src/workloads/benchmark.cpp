@@ -1,0 +1,78 @@
+#include "workloads/benchmark.hpp"
+
+namespace arinoc {
+
+const char* sensitivity_name(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kHigh: return "high";
+    case Sensitivity::kMedium: return "medium";
+    case Sensitivity::kLow: return "low";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<BenchmarkTraits> build_suite() {
+  using S = Sensitivity;
+  // name, sens, mem_ratio, store, locality, stream, shared, lines, ws_kb
+  return {
+      // ---- 9 highly NoC-sensitive: memory-bound, poor reuse ----
+      {"bfs",            S::kHigh, 0.42, 0.10, 0.15, 0.15, 0.30, 3.0, 1024},
+      {"kmeans",         S::kHigh, 0.38, 0.18, 0.22, 0.60, 0.25, 1.8, 768},
+      {"mummergpu",      S::kHigh, 0.40, 0.05, 0.12, 0.20, 0.35, 3.2, 1024},
+      {"srad",           S::kHigh, 0.35, 0.25, 0.28, 0.75, 0.10, 1.4, 640},
+      {"streamcluster",  S::kHigh, 0.36, 0.08, 0.20, 0.65, 0.30, 1.6, 896},
+      {"cfd",            S::kHigh, 0.34, 0.20, 0.25, 0.55, 0.15, 2.0, 768},
+      {"particlefilter", S::kHigh, 0.33, 0.15, 0.18, 0.35, 0.20, 2.4, 640},
+      {"b+tree",         S::kHigh, 0.37, 0.06, 0.20, 0.25, 0.40, 2.8, 896},
+      {"backprop",       S::kHigh, 0.32, 0.22, 0.30, 0.70, 0.15, 1.5, 512},
+      // ---- 11 medium sensitivity ----
+      {"hotspot",        S::kMedium, 0.26, 0.20, 0.45, 0.80, 0.10, 1.3, 384},
+      {"pathfinder",     S::kMedium, 0.28, 0.15, 0.40, 0.85, 0.10, 1.2, 448},
+      {"lud",            S::kMedium, 0.22, 0.18, 0.50, 0.70, 0.15, 1.4, 320},
+      {"nw",             S::kMedium, 0.24, 0.16, 0.42, 0.75, 0.12, 1.3, 384},
+      {"gaussian",       S::kMedium, 0.20, 0.14, 0.48, 0.80, 0.10, 1.2, 256},
+      {"heartwall",      S::kMedium, 0.23, 0.12, 0.45, 0.60, 0.20, 1.6, 320},
+      {"leukocyte",      S::kMedium, 0.21, 0.10, 0.52, 0.65, 0.15, 1.5, 256},
+      {"nn",             S::kMedium, 0.25, 0.05, 0.38, 0.90, 0.05, 1.2, 512},
+      {"blackscholes",   S::kMedium, 0.27, 0.30, 0.35, 0.95, 0.05, 1.1, 512},
+      {"histogram",      S::kMedium, 0.24, 0.35, 0.40, 0.30, 0.30, 1.8, 256},
+      {"transpose",      S::kMedium, 0.26, 0.45, 0.36, 0.50, 0.05, 2.0, 384},
+      // ---- 10 low sensitivity: compute-bound, cache-friendly ----
+      {"myocyte",        S::kLow, 0.08, 0.15, 0.75, 0.70, 0.10, 1.2, 128},
+      {"lavaMD",         S::kLow, 0.10, 0.12, 0.70, 0.60, 0.20, 1.3, 160},
+      {"dwt2d",          S::kLow, 0.12, 0.25, 0.65, 0.85, 0.05, 1.2, 192},
+      {"matrixMul",      S::kLow, 0.11, 0.10, 0.78, 0.80, 0.15, 1.1, 128},
+      {"convolution",    S::kLow, 0.12, 0.18, 0.72, 0.90, 0.05, 1.1, 160},
+      {"fastWalsh",      S::kLow, 0.10, 0.30, 0.68, 0.85, 0.05, 1.2, 192},
+      {"mergeSort",      S::kLow, 0.12, 0.35, 0.60, 0.55, 0.10, 1.4, 224},
+      {"reduction",      S::kLow, 0.09, 0.08, 0.74, 0.95, 0.10, 1.1, 128},
+      {"scalarProd",     S::kLow, 0.10, 0.06, 0.70, 0.95, 0.05, 1.1, 160},
+      {"sortingNetworks",S::kLow, 0.11, 0.32, 0.66, 0.60, 0.08, 1.3, 192},
+  };
+}
+
+}  // namespace
+
+const std::vector<BenchmarkTraits>& benchmark_suite() {
+  static const std::vector<BenchmarkTraits> suite = build_suite();
+  return suite;
+}
+
+const BenchmarkTraits* find_benchmark(std::string_view name) {
+  for (const auto& b : benchmark_suite()) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> benchmarks_with(Sensitivity s) {
+  std::vector<std::string> out;
+  for (const auto& b : benchmark_suite()) {
+    if (b.sensitivity == s) out.push_back(b.name);
+  }
+  return out;
+}
+
+}  // namespace arinoc

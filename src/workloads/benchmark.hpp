@@ -1,0 +1,57 @@
+// Synthetic models of the paper's 30 Rodinia / CUDA-SDK benchmarks.
+//
+// Each benchmark is reduced to the traffic signature the NoC experiments
+// depend on: memory intensity, read/write mix, coalescing quality, reuse
+// locality, streaming behaviour (DRAM row locality) and cross-core sharing.
+// The suite keeps the paper's sensitivity mix: 9 highly NoC-sensitive,
+// 11 medium, 10 low (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arinoc {
+
+enum class Sensitivity { kHigh, kMedium, kLow };
+
+const char* sensitivity_name(Sensitivity s);
+
+struct BenchmarkTraits {
+  std::string name;
+  Sensitivity sensitivity = Sensitivity::kMedium;
+  /// Probability that a warp instruction is a memory operation.
+  double mem_ratio = 0.2;
+  /// Fraction of memory operations that are stores.
+  double store_frac = 0.15;
+  /// Probability of re-touching a recently used line (L1 locality).
+  double locality = 0.5;
+  /// Probability that a fresh address continues the warp's stream
+  /// (sequential lines -> DRAM row-buffer hits).
+  double stream_frac = 0.7;
+  /// Probability that an access targets the cross-core shared region.
+  double shared_frac = 0.1;
+  /// Mean distinct lines per memory instruction after coalescing (1..4);
+  /// irregular benchmarks coalesce poorly and generate more transactions.
+  double lines_mean = 1.5;
+  /// Per-core private working set.
+  std::uint32_t working_set_kb = 256;
+  /// Traffic burstiness in [0, 1): the memory-op ratio oscillates between
+  /// phases of (1+b)x and (1-b)x the mean over `burst_period` instructions.
+  /// Kernels alternate compute and memory phases; bursts are what produce
+  /// the "multiple back-to-back ready data" at MCs that §4.1 targets.
+  double burstiness = 0.0;
+  std::uint32_t burst_period = 512;
+};
+
+/// The full 30-benchmark evaluation suite (ordered, deterministic).
+const std::vector<BenchmarkTraits>& benchmark_suite();
+
+/// Lookup by name; nullptr if unknown.
+const BenchmarkTraits* find_benchmark(std::string_view name);
+
+/// Names of all suite members with the given sensitivity.
+std::vector<std::string> benchmarks_with(Sensitivity s);
+
+}  // namespace arinoc

@@ -1,0 +1,25 @@
+#include "workloads/suite.hpp"
+
+namespace arinoc {
+
+std::vector<std::string> all_benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& b : benchmark_suite()) names.push_back(b.name);
+  return names;
+}
+
+std::vector<std::string> fig6_benchmarks() {
+  return {"pathfinder", "hotspot", "srad", "bfs"};
+}
+
+std::vector<std::string> fig9_benchmarks() { return {"bfs", "mummergpu"}; }
+
+std::vector<std::string> fig15_benchmarks() {
+  return {"bfs", "b+tree", "hotspot", "pathfinder"};
+}
+
+std::vector<std::string> quick_benchmarks() {
+  return {"bfs", "hotspot", "matrixMul"};
+}
+
+}  // namespace arinoc

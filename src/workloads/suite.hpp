@@ -1,0 +1,27 @@
+// Named benchmark selections used by the evaluation (which figure uses
+// which subset of the 30-benchmark suite).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/benchmark.hpp"
+
+namespace arinoc {
+
+/// All 30 benchmark names, suite order.
+std::vector<std::string> all_benchmark_names();
+
+/// Fig. 6 (queue occupancy): pathfinder, hotspot, srad, bfs.
+std::vector<std::string> fig6_benchmarks();
+
+/// Fig. 9 (priority levels): bfs, mummergpu.
+std::vector<std::string> fig9_benchmarks();
+
+/// Fig. 15 (virtual channels): bfs, b+tree, hotspot, pathfinder.
+std::vector<std::string> fig15_benchmarks();
+
+/// A small representative mix (one per sensitivity class) for quick runs.
+std::vector<std::string> quick_benchmarks();
+
+}  // namespace arinoc

@@ -1,0 +1,91 @@
+#include "workloads/tracegen.hpp"
+
+#include <algorithm>
+
+namespace arinoc {
+
+namespace {
+constexpr std::size_t kReuseRing = 8;
+}
+
+TraceGen::TraceGen(const BenchmarkTraits& traits, std::uint32_t num_cores,
+                   std::uint32_t warps_per_core, std::uint32_t line_bytes,
+                   std::uint64_t seed)
+    : traits_(traits),
+      num_cores_(num_cores),
+      warps_per_core_(warps_per_core),
+      line_bytes_(line_bytes),
+      ws_bytes_(static_cast<Addr>(traits.working_set_kb) * 1024),
+      shared_base_(static_cast<Addr>(num_cores) *
+                   static_cast<Addr>(traits.working_set_kb) * 1024),
+      states_(static_cast<std::size_t>(num_cores) * warps_per_core) {
+  for (std::uint32_t c = 0; c < num_cores; ++c) {
+    for (std::uint32_t w = 0; w < warps_per_core; ++w) {
+      WarpState& ws = state(c, w);
+      ws.rng = Xoshiro256(seed * 0x10001 + c * 977 + w * 131 + 7);
+      ws.recent.assign(kReuseRing, 0);
+      // Stagger warp streams across the core's private region.
+      const Addr lines = ws_bytes_ / line_bytes_;
+      ws.cursor = (static_cast<Addr>(w) * lines / warps_per_core) *
+                  line_bytes_;
+    }
+  }
+}
+
+Addr TraceGen::fresh_address(std::uint32_t core, WarpState& ws) {
+  const bool shared = ws.rng.chance(traits_.shared_frac);
+  const Addr base =
+      shared ? shared_base_ : static_cast<Addr>(core) * ws_bytes_;
+  const Addr region_lines = ws_bytes_ / line_bytes_;
+  Addr line_index;
+  if (ws.rng.chance(traits_.stream_frac)) {
+    // Streaming: advance the warp's cursor (sequential lines hit open DRAM
+    // rows and prefill caches until the region wraps).
+    ws.cursor = (ws.cursor + line_bytes_) % ws_bytes_;
+    line_index = ws.cursor / line_bytes_;
+  } else {
+    line_index = ws.rng.next_below(region_lines);
+  }
+  return base + line_index * line_bytes_;
+}
+
+Instr TraceGen::next(std::uint32_t core, std::uint32_t warp) {
+  WarpState& ws = state(core, warp);
+  Instr instr;
+  // Phase-modulated memory intensity: alternate memory-heavy and
+  // compute-heavy halves of each burst period (kernel-phase behaviour).
+  double mem_ratio = traits_.mem_ratio;
+  if (traits_.burstiness > 0.0 && traits_.burst_period > 1) {
+    const std::uint64_t pos = ws.instr_count++ % traits_.burst_period;
+    const bool hot = pos < traits_.burst_period / 2;
+    mem_ratio *= hot ? (1.0 + traits_.burstiness)
+                     : (1.0 - traits_.burstiness);
+    mem_ratio = std::min(mem_ratio, 0.95);
+  }
+  if (!ws.rng.chance(mem_ratio)) {
+    return instr;  // ALU op.
+  }
+  instr.is_mem = true;
+  instr.is_store = ws.rng.chance(traits_.store_frac);
+  // Binomial line count with mean lines_mean in [1, kMaxLines].
+  const double p_extra =
+      std::clamp((traits_.lines_mean - 1.0) / (Instr::kMaxLines - 1), 0.0, 1.0);
+  std::uint8_t n = 1;
+  for (std::uint8_t i = 1; i < Instr::kMaxLines; ++i) {
+    if (ws.rng.chance(p_extra)) ++n;
+  }
+  instr.num_lines = n;
+  for (std::uint8_t i = 0; i < n; ++i) {
+    Addr addr = 0;
+    if (ws.rng.chance(traits_.locality)) {
+      addr = ws.recent[ws.rng.next_below(kReuseRing)];
+    }
+    if (addr == 0) addr = fresh_address(core, ws);  // Ring slot still empty.
+    instr.lines[i] = addr;
+    ws.recent[ws.ring_pos] = addr;
+    ws.ring_pos = (ws.ring_pos + 1) % kReuseRing;
+  }
+  return instr;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,53 @@
+// Synthetic instruction/address stream generator implementing InstrSource
+// from BenchmarkTraits. Deterministic given (traits, seed, core/warp grid).
+//
+// Address space layout: each core owns a private region sized by the
+// benchmark's working set; a shared region of the same size follows all
+// private regions and is touched with probability shared_frac (this is what
+// makes the per-MC L2 banks useful across cores).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gpu/instr.hpp"
+#include "workloads/benchmark.hpp"
+
+namespace arinoc {
+
+class TraceGen : public InstrSource {
+ public:
+  TraceGen(const BenchmarkTraits& traits, std::uint32_t num_cores,
+           std::uint32_t warps_per_core, std::uint32_t line_bytes,
+           std::uint64_t seed);
+
+  Instr next(std::uint32_t core, std::uint32_t warp) override;
+
+  const BenchmarkTraits& traits() const { return traits_; }
+
+ private:
+  struct WarpState {
+    Addr cursor = 0;  ///< Streaming pointer inside the active region.
+    std::uint32_t ring_pos = 0;
+    std::uint64_t instr_count = 0;  ///< For burst-phase modulation.
+    std::vector<Addr> recent;  ///< Reuse ring (L1 locality source).
+    Xoshiro256 rng{1};
+  };
+
+  WarpState& state(std::uint32_t core, std::uint32_t warp) {
+    return states_[static_cast<std::size_t>(core) * warps_per_core_ + warp];
+  }
+  Addr fresh_address(std::uint32_t core, WarpState& ws);
+
+  BenchmarkTraits traits_;
+  std::uint32_t num_cores_;
+  std::uint32_t warps_per_core_;
+  std::uint32_t line_bytes_;
+  Addr ws_bytes_;      ///< Private region size per core.
+  Addr shared_base_;   ///< Start of the shared region.
+  std::vector<WarpState> states_;
+};
+
+}  // namespace arinoc

@@ -1,0 +1,67 @@
+// Address interleaving across MCs, banks and rows.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_map.hpp"
+
+namespace arinoc {
+namespace {
+
+TEST(AddressMap, ConsecutiveLinesRotateMcs) {
+  AddressMap m(8, 64, 16);
+  for (Addr line = 0; line < 32; ++line) {
+    EXPECT_EQ(m.mc_of(line * 64), line % 8);
+  }
+}
+
+TEST(AddressMap, WithinLineSameMc) {
+  AddressMap m(8, 64, 16);
+  EXPECT_EQ(m.mc_of(0x100), m.mc_of(0x13F));
+  EXPECT_NE(m.mc_of(0x100), m.mc_of(0x140));
+}
+
+TEST(AddressMap, LineAlignment) {
+  AddressMap m(8, 64, 16);
+  EXPECT_EQ(m.line_of(0x1234), 0x1200u);
+  EXPECT_EQ(m.line_of(0x1200), 0x1200u);
+}
+
+TEST(AddressMap, BanksRotateWithinMc) {
+  AddressMap m(8, 64, 16);
+  // Lines mapping to MC 0: addresses 0, 8*64, 16*64, ... rotate banks.
+  std::set<std::uint32_t> banks;
+  for (Addr k = 0; k < 16; ++k) {
+    const Addr addr = k * 8 * 64;  // Every 8th line -> MC 0.
+    ASSERT_EQ(m.mc_of(addr), 0u);
+    banks.insert(m.bank_of(addr));
+  }
+  EXPECT_EQ(banks.size(), 16u);  // Full bank-level parallelism.
+}
+
+TEST(AddressMap, RowAdvancesAfterBankSweep) {
+  AddressMap m(8, 64, 16, 2048);
+  // lines_per_row = 32; a row at one bank covers 32 local lines spaced by
+  // the bank count.
+  const Addr base = 0;
+  const std::uint64_t row0 = m.row_of(base);
+  // Same bank, 16 local lines later (one bank rotation) -> same row until
+  // 32 lines consumed.
+  const Addr next_same_bank = 16ull * 8 * 64;
+  EXPECT_EQ(m.bank_of(next_same_bank), m.bank_of(base));
+  EXPECT_EQ(m.row_of(next_same_bank), row0);
+  // 16 * 32 bank-line slots later the row must change.
+  const Addr far = 16ull * 32 * 8 * 64;
+  EXPECT_EQ(m.bank_of(far), m.bank_of(base));
+  EXPECT_NE(m.row_of(far), row0);
+}
+
+TEST(AddressMap, NonPowerOfTwoMcCountSupported) {
+  AddressMap m(6, 64, 8);
+  std::set<std::uint32_t> mcs;
+  for (Addr line = 0; line < 60; ++line) mcs.insert(m.mc_of(line * 64));
+  EXPECT_EQ(mcs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace arinoc

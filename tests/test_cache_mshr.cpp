@@ -1,0 +1,151 @@
+// Cache (LRU set-associative) and MSHR behaviour.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/mshr.hpp"
+
+namespace arinoc {
+namespace {
+
+TEST(Cache, MissThenHitAfterFill) {
+  Cache c(1024, 2, 64);
+  EXPECT_FALSE(c.access(0x100));
+  c.fill(0x100);
+  EXPECT_TRUE(c.access(0x100));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, GeometryDerived) {
+  Cache c(16 * 1024, 4, 64);  // The L1 configuration.
+  EXPECT_EQ(c.num_sets(), 64u);
+  EXPECT_EQ(c.assoc(), 4u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way, 1 set: third distinct line evicts the least recently used.
+  Cache c(128, 2, 64);
+  ASSERT_EQ(c.num_sets(), 1u);
+  c.fill(0 * 64);
+  c.fill(1 * 64);
+  EXPECT_TRUE(c.access(0 * 64));  // Touch line 0: line 1 becomes LRU.
+  const Addr evicted = c.fill(2 * 64);
+  EXPECT_EQ(evicted, 1 * 64u);
+  EXPECT_TRUE(c.contains(0 * 64));
+  EXPECT_FALSE(c.contains(1 * 64));
+  EXPECT_TRUE(c.contains(2 * 64));
+}
+
+TEST(Cache, FillOfPresentLineDoesNotEvict) {
+  Cache c(128, 2, 64);
+  c.fill(0);
+  c.fill(64);
+  EXPECT_EQ(c.fill(0), 0u);  // Already present: no eviction.
+  EXPECT_TRUE(c.contains(64));
+}
+
+TEST(Cache, SetIndexingSeparatesLines) {
+  Cache c(256, 1, 64);  // 4 sets, direct mapped.
+  c.fill(0 * 64);
+  c.fill(1 * 64);
+  c.fill(2 * 64);
+  c.fill(3 * 64);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(64));
+  EXPECT_TRUE(c.contains(128));
+  EXPECT_TRUE(c.contains(192));
+  // A conflicting line (same set as 0) evicts only line 0.
+  c.fill(4 * 64);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(64));
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c(1024, 2, 64);
+  c.fill(0x40);
+  EXPECT_TRUE(c.invalidate(0x40));
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_FALSE(c.invalidate(0x40));  // Second invalidate is a no-op.
+}
+
+TEST(Cache, ContainsDoesNotPerturbLruOrStats) {
+  Cache c(128, 2, 64);
+  c.fill(0);
+  c.fill(64);
+  // Probing line 0 must NOT refresh it.
+  EXPECT_TRUE(c.contains(0));
+  c.fill(128);  // Evicts LRU = line 0 (fill order, no touch).
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(Cache, ResetClearsContents) {
+  Cache c(1024, 2, 64);
+  c.fill(0x80);
+  c.access(0x80);
+  c.reset();
+  EXPECT_FALSE(c.contains(0x80));
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Cache, HitRateComputation) {
+  Cache c(1024, 2, 64);
+  c.fill(0);
+  c.access(0);
+  c.access(0);
+  c.access(64);  // miss
+  EXPECT_NEAR(c.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- MSHR
+
+TEST(Mshr, FirstMissAllocates) {
+  Mshr m(4, 2);
+  EXPECT_EQ(m.lookup(0x100, 1), Mshr::Outcome::kNewMiss);
+  EXPECT_TRUE(m.has_entry(0x100));
+  EXPECT_EQ(m.used_entries(), 1u);
+}
+
+TEST(Mshr, SecondMissMerges) {
+  Mshr m(4, 2);
+  EXPECT_EQ(m.lookup(0x100, 1), Mshr::Outcome::kNewMiss);
+  EXPECT_EQ(m.lookup(0x100, 2), Mshr::Outcome::kMerged);
+  EXPECT_EQ(m.used_entries(), 1u);  // Same entry.
+}
+
+TEST(Mshr, MergeCapacityEnforced) {
+  Mshr m(4, 2);
+  EXPECT_EQ(m.lookup(0x100, 1), Mshr::Outcome::kNewMiss);
+  EXPECT_EQ(m.lookup(0x100, 2), Mshr::Outcome::kMerged);
+  EXPECT_EQ(m.lookup(0x100, 3), Mshr::Outcome::kFull);
+}
+
+TEST(Mshr, EntryCapacityEnforced) {
+  Mshr m(2, 8);
+  EXPECT_EQ(m.lookup(0x000, 1), Mshr::Outcome::kNewMiss);
+  EXPECT_EQ(m.lookup(0x040, 1), Mshr::Outcome::kNewMiss);
+  EXPECT_EQ(m.lookup(0x080, 1), Mshr::Outcome::kFull);
+  EXPECT_TRUE(m.full());
+}
+
+TEST(Mshr, FillReturnsAllMergedTagsAndFrees) {
+  Mshr m(4, 8);
+  m.lookup(0x100, 7);
+  m.lookup(0x100, 9);
+  m.lookup(0x100, 7);  // The same warp can wait twice (two instructions).
+  const auto tags = m.fill(0x100);
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0], 7u);
+  EXPECT_EQ(tags[1], 9u);
+  EXPECT_EQ(tags[2], 7u);
+  EXPECT_FALSE(m.has_entry(0x100));
+  EXPECT_EQ(m.used_entries(), 0u);
+}
+
+TEST(Mshr, SpuriousFillIsEmpty) {
+  Mshr m(4, 8);
+  EXPECT_TRUE(m.fill(0xdead).empty());
+}
+
+}  // namespace
+}  // namespace arinoc

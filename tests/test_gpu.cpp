@@ -1,0 +1,273 @@
+// GPU side: coalescer, warp scheduler policies, and the SIMT core's issue
+// pacing, scoreboard stalls and reply-driven wakeups.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <queue>
+
+#include "gpu/coalescer.hpp"
+#include "gpu/core.hpp"
+#include "gpu/scheduler.hpp"
+#include "mem/address_map.hpp"
+
+namespace arinoc {
+namespace {
+
+// ------------------------------------------------------------- Coalescer
+
+TEST(Coalescer, DeduplicatesLines) {
+  Instr i;
+  i.is_mem = true;
+  i.num_lines = 4;
+  i.lines = {0x100, 0x100, 0x200, 0x100};
+  EXPECT_EQ(coalesce(&i), 2);
+  EXPECT_EQ(i.lines[0], 0x100u);
+  EXPECT_EQ(i.lines[1], 0x200u);
+}
+
+TEST(Coalescer, AllDistinctUnchanged) {
+  Instr i;
+  i.is_mem = true;
+  i.num_lines = 3;
+  i.lines = {0x0, 0x40, 0x80, 0};
+  EXPECT_EQ(coalesce(&i), 3);
+}
+
+TEST(Coalescer, SingleLine) {
+  Instr i;
+  i.num_lines = 1;
+  i.lines = {0x40, 0, 0, 0};
+  EXPECT_EQ(coalesce(&i), 1);
+}
+
+// ------------------------------------------------------------- Scheduler
+
+std::vector<Warp> make_warps(std::uint32_t n) {
+  std::vector<Warp> warps(n);
+  for (std::uint32_t i = 0; i < n; ++i) warps[i].id = i;
+  return warps;
+}
+
+TEST(Scheduler, GtoSticksWithCurrentWarp) {
+  auto warps = make_warps(4);
+  WarpScheduler sched(SchedPolicy::kGreedyThenOldest, 4);
+  std::vector<bool> all(4, true);
+  const int first = sched.pick(warps, all);
+  sched.issued(static_cast<std::uint32_t>(first));
+  warps[static_cast<std::size_t>(first)].last_issue = 10;
+  EXPECT_EQ(sched.pick(warps, all), first);  // Greedy.
+}
+
+TEST(Scheduler, GtoFallsBackToOldest) {
+  auto warps = make_warps(3);
+  warps[0].last_issue = 30;
+  warps[1].last_issue = 10;  // Oldest.
+  warps[2].last_issue = 20;
+  WarpScheduler sched(SchedPolicy::kGreedyThenOldest, 3);
+  sched.issued(0);
+  const std::vector<bool> eligible = {false, true, true};  // Current stalled.
+  EXPECT_EQ(sched.pick(warps, eligible), 1);
+}
+
+TEST(Scheduler, ReturnsMinusOneWhenNoneEligible) {
+  auto warps = make_warps(2);
+  WarpScheduler sched(SchedPolicy::kGreedyThenOldest, 2);
+  EXPECT_EQ(sched.pick(warps, {false, false}), -1);
+}
+
+TEST(Scheduler, LooseRoundRobinRotates) {
+  auto warps = make_warps(3);
+  WarpScheduler sched(SchedPolicy::kLooseRoundRobin, 3);
+  const std::vector<bool> all = {true, true, true};
+  EXPECT_EQ(sched.pick(warps, all), 0);
+  EXPECT_EQ(sched.pick(warps, all), 1);
+  EXPECT_EQ(sched.pick(warps, all), 2);
+  EXPECT_EQ(sched.pick(warps, all), 0);
+}
+
+// ------------------------------------------------------------------ Core
+
+/// Scripted instruction source: cycles through a fixed list per warp.
+class ScriptedSource : public InstrSource {
+ public:
+  Instr next(std::uint32_t, std::uint32_t) override {
+    if (script.empty()) return Instr{};
+    const Instr i = script.front();
+    script.pop();
+    return i;
+  }
+  std::queue<Instr> script;
+};
+
+class CapturePort : public RequestPort {
+ public:
+  bool try_send_request(bool write, TxnId txn, NodeId dest,
+                        Cycle) override {
+    if (blocked) return false;
+    sent.push_back({write, txn, dest});
+    return true;
+  }
+  struct Req {
+    bool write;
+    TxnId txn;
+    NodeId dest;
+  };
+  bool blocked = false;
+  std::vector<Req> sent;
+};
+
+struct CoreHarness {
+  CoreHarness() : amap(cfg.num_mcs, cfg.line_bytes, cfg.dram_banks) {
+    cfg.warps_per_core = 2;
+    mc_nodes = {10, 11, 12, 13, 14, 15, 16, 17};
+    core = std::make_unique<SimtCore>(cfg, 0, 1, &source, &txns, &amap,
+                                      &mc_nodes, &port);
+  }
+  void run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) core->cycle(now++);
+  }
+  static Instr load(Addr line) {
+    Instr i;
+    i.is_mem = true;
+    i.num_lines = 1;
+    i.lines[0] = line;
+    return i;
+  }
+  static Instr store(Addr line) {
+    Instr i = load(line);
+    i.is_store = true;
+    return i;
+  }
+
+  Config cfg;
+  TxnPool txns;
+  AddressMap amap;
+  ScriptedSource source;
+  CapturePort port;
+  std::vector<NodeId> mc_nodes;
+  std::unique_ptr<SimtCore> core;
+  Cycle now = 0;
+};
+
+TEST(SimtCore, IssuePacedBySimdWidth) {
+  CoreHarness h;
+  // Pure ALU stream: one warp instruction per warp_size/simd_width cycles.
+  h.run(40);
+  EXPECT_EQ(h.core->warp_instructions(), 40u / 4);
+  EXPECT_EQ(h.core->thread_instructions(), (40u / 4) * 32);
+}
+
+TEST(SimtCore, LoadMissSendsRequestToOwningMc) {
+  CoreHarness h;
+  const Addr line = 0x40;  // Line 1 -> MC index 1 -> node 11.
+  h.source.script.push(CoreHarness::load(line));
+  h.run(8);
+  ASSERT_EQ(h.port.sent.size(), 1u);
+  EXPECT_FALSE(h.port.sent[0].write);
+  EXPECT_EQ(h.port.sent[0].dest, 11);
+  EXPECT_EQ(h.txns.at(h.port.sent[0].txn).line, line);
+  EXPECT_EQ(h.txns.at(h.port.sent[0].txn).src_cc, 1);
+}
+
+TEST(SimtCore, WarpBlocksUntilReplyArrives) {
+  CoreHarness h;
+  h.cfg.warps_per_core = 1;
+  h.core = std::make_unique<SimtCore>(h.cfg, 0, 1, &h.source, &h.txns,
+                                      &h.amap, &h.mc_nodes, &h.port);
+  h.source.script.push(CoreHarness::load(0x40));
+  h.run(40);
+  const auto issued_before = h.core->warp_instructions();
+  h.run(40);
+  // The single warp is scoreboard-blocked: no further issue.
+  EXPECT_EQ(h.core->warp_instructions(), issued_before);
+  // Deliver the read reply: the warp wakes and resumes issuing.
+  ASSERT_EQ(h.port.sent.size(), 1u);
+  Packet reply;
+  reply.type = PacketType::kReadReply;
+  reply.txn = h.port.sent[0].txn;
+  h.core->deliver(reply, h.now);
+  h.run(20);
+  EXPECT_GT(h.core->warp_instructions(), issued_before);
+}
+
+TEST(SimtCore, StoresDoNotBlockWarp) {
+  CoreHarness h;
+  h.cfg.warps_per_core = 1;
+  h.core = std::make_unique<SimtCore>(h.cfg, 0, 1, &h.source, &h.txns,
+                                      &h.amap, &h.mc_nodes, &h.port);
+  h.source.script.push(CoreHarness::store(0x40));
+  h.run(40);
+  EXPECT_EQ(h.port.sent.size(), 1u);
+  EXPECT_TRUE(h.port.sent[0].write);
+  EXPECT_GT(h.core->warp_instructions(), 1u);  // Issued past the store.
+}
+
+TEST(SimtCore, L1HitAvoidsTraffic) {
+  CoreHarness h;
+  h.cfg.warps_per_core = 1;
+  h.core = std::make_unique<SimtCore>(h.cfg, 0, 1, &h.source, &h.txns,
+                                      &h.amap, &h.mc_nodes, &h.port);
+  h.source.script.push(CoreHarness::load(0x40));
+  h.run(20);
+  ASSERT_EQ(h.port.sent.size(), 1u);
+  Packet reply;
+  reply.type = PacketType::kReadReply;
+  reply.txn = h.port.sent[0].txn;
+  h.core->deliver(reply, h.now);  // Fills L1.
+  h.source.script.push(CoreHarness::load(0x40));
+  h.run(20);
+  EXPECT_EQ(h.port.sent.size(), 1u);  // Second load hit in L1.
+  EXPECT_GT(h.core->l1().hits(), 0u);
+}
+
+TEST(SimtCore, MshrMergesDuplicateMisses) {
+  CoreHarness h;  // Two warps, both loading the same line.
+  h.source.script.push(CoreHarness::load(0x40));
+  h.source.script.push(CoreHarness::load(0x40));
+  h.run(20);
+  EXPECT_EQ(h.port.sent.size(), 1u);  // One network request for both warps.
+  // Both warps blocked; reply wakes both.
+  Packet reply;
+  reply.type = PacketType::kReadReply;
+  reply.txn = h.port.sent[0].txn;
+  h.core->deliver(reply, h.now);
+  h.run(20);
+  EXPECT_GT(h.core->warp_instructions(), 2u);
+}
+
+TEST(SimtCore, BlockedPortQueuesAndRetries) {
+  CoreHarness h;
+  h.port.blocked = true;
+  h.source.script.push(CoreHarness::load(0x40));
+  h.run(20);
+  EXPECT_TRUE(h.port.sent.empty());
+  h.port.blocked = false;
+  h.run(5);
+  EXPECT_EQ(h.port.sent.size(), 1u);
+}
+
+TEST(SimtCore, WriteReplyRetiresTxn) {
+  CoreHarness h;
+  h.source.script.push(CoreHarness::store(0x80));
+  h.run(20);
+  ASSERT_EQ(h.port.sent.size(), 1u);
+  const std::size_t live_before = h.txns.live();
+  Packet reply;
+  reply.type = PacketType::kWriteReply;
+  reply.txn = h.port.sent[0].txn;
+  h.core->deliver(reply, h.now);
+  EXPECT_EQ(h.txns.live(), live_before - 1);
+}
+
+TEST(SimtCore, ResetStatsPreservesArchState) {
+  CoreHarness h;
+  h.run(20);
+  EXPECT_GT(h.core->warp_instructions(), 0u);
+  h.core->reset_stats();
+  EXPECT_EQ(h.core->warp_instructions(), 0u);
+  h.run(20);
+  EXPECT_GT(h.core->warp_instructions(), 0u);  // Still running.
+}
+
+}  // namespace
+}  // namespace arinoc

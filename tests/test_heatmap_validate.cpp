@@ -1,0 +1,125 @@
+// Heatmap rendering and the credit-conservation invariant checker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/gpgpu_sim.hpp"
+#include "core/heatmap.hpp"
+#include "core/experiment.hpp"
+#include "noc/ni.hpp"
+
+namespace arinoc {
+namespace {
+
+TEST(Shade, MonotoneAndBounded) {
+  EXPECT_EQ(detail::shade(0.0, 1.0), ' ');
+  EXPECT_EQ(detail::shade(1.0, 1.0), '@');
+  EXPECT_EQ(detail::shade(5.0, 1.0), '@');  // Clamped.
+  EXPECT_EQ(detail::shade(0.5, 0.0), ' ');  // Max 0: everything cold.
+  char prev = ' ';
+  for (double v = 0.0; v <= 1.0; v += 0.1) {
+    const char c = detail::shade(v, 1.0);
+    EXPECT_GE(std::string(" .:-=+*#%@").find(c),
+              std::string(" .:-=+*#%@").find(prev));
+    prev = c;
+  }
+}
+
+TEST(Heatmap, RendersGridWithMcMarkers) {
+  Config cfg = apply_scheme(Config{}, Scheme::kXYBaseline);
+  cfg.warmup_cycles = 200;
+  cfg.run_cycles = 1000;
+  GpgpuSim sim(cfg, *find_benchmark("bfs"));
+  sim.run_with_warmup();
+  const std::string map = link_heatmap(sim.reply_net(), 1000);
+  // 6 rows of 6 cells + title.
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 7);
+  auto grid_of = [](const std::string& s) {
+    return s.substr(s.find('\n') + 1);  // Strip the title line.
+  };
+  const std::string grid = grid_of(map);
+  EXPECT_EQ(std::count(grid.begin(), grid.end(), 'M'), 8);
+  EXPECT_EQ(std::count(grid.begin(), grid.end(), 'c'), 28);
+  // Reply traffic is injected only at MCs: every CC cell's shade is blank
+  // and at least one MC cell is hot.
+  const std::string inj = grid_of(injection_heatmap(sim.reply_net(), 1000));
+  bool hot_mc = false;
+  for (std::size_t i = 0; i + 1 < inj.size(); ++i) {
+    if (inj[i] == 'M' && inj[i + 1] != ' ') hot_mc = true;
+    if (inj[i] == 'c') {
+      EXPECT_EQ(inj[i + 1], ' ') << "CC injecting replies?";
+    }
+  }
+  EXPECT_TRUE(hot_mc);
+}
+
+TEST(CreditInvariant, HoldsOnIdleNetwork) {
+  Mesh mesh(4, 4, 2);
+  NetworkParams np;
+  Network net(np, &mesh);
+  EXPECT_EQ(net.validate_credit_invariants(), "");
+}
+
+TEST(CreditInvariant, HoldsDuringAndAfterTraffic) {
+  Mesh mesh(4, 4, 2);
+  NetworkParams np;
+  np.routing = RoutingAlgo::kMinAdaptive;
+  np.priority_levels = 2;
+  np.treat_mcs_specially = true;
+  np.mc_injection_speedup = 4;
+  Network net(np, &mesh);
+  std::vector<std::unique_ptr<EnhancedInjectNi>> nis;
+  std::vector<std::unique_ptr<EjectNi>> ejs;
+  class Sink : public PacketSink {
+   public:
+    void deliver(const Packet&, Cycle) override {}
+  } sink;
+  for (NodeId n = 0; n < 16; ++n) {
+    nis.push_back(std::make_unique<EnhancedInjectNi>(&net, n, 36));
+    ejs.push_back(std::make_unique<EjectNi>(&net, n, &sink));
+  }
+  Xoshiro256 rng(5);
+  for (Cycle t = 0; t < 600; ++t) {
+    for (NodeId n = 0; n < 16; ++n) {
+      if (!rng.chance(0.3)) continue;
+      const NodeId dst = static_cast<NodeId>(rng.next_below(16));
+      if (dst == n) continue;
+      const PacketId id =
+          net.make_packet(PacketType::kReadReply, n, dst, 1, 0, t);
+      if (!nis[static_cast<std::size_t>(n)]->try_accept(id, t)) {
+        net.abandon_packet(id);
+      }
+    }
+    for (auto& ni : nis) ni->cycle(t);
+    net.step(t);
+    for (auto& ej : ejs) ej->cycle(t);
+    // The invariant must hold at EVERY cycle boundary, not only at rest.
+    ASSERT_EQ(net.validate_credit_invariants(), "") << "at cycle " << t;
+  }
+}
+
+TEST(CreditInvariant, HoldsWithMultiCycleLinks) {
+  Mesh mesh(4, 4, 2);
+  NetworkParams np;
+  np.link_latency = 3;
+  Network net(np, &mesh);
+  EnhancedInjectNi ni(&net, 0, 36);
+  class Sink : public PacketSink {
+   public:
+    void deliver(const Packet&, Cycle) override {}
+  } sink;
+  EjectNi ej(&net, 15, &sink);
+  for (Cycle t = 0; t < 200; ++t) {
+    const PacketId id = net.make_packet(PacketType::kReadReply, 0, 15, 0, 0, t);
+    if (!ni.try_accept(id, t)) net.abandon_packet(id);
+    ni.cycle(t);
+    net.step(t);
+    ej.cycle(t);
+    ASSERT_EQ(net.validate_credit_invariants(), "") << "at cycle " << t;
+  }
+}
+
+}  // namespace
+}  // namespace arinoc

@@ -1,0 +1,196 @@
+// Full-system integration: the assembled GPGPU simulator under every
+// scheme, conservation properties, determinism, and the paper's headline
+// directional effects on a short run.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/gpgpu_sim.hpp"
+#include "workloads/benchmark.hpp"
+
+namespace arinoc {
+namespace {
+
+Config quick_config() {
+  Config cfg;
+  cfg.warmup_cycles = 500;
+  cfg.run_cycles = 3000;
+  return cfg;
+}
+
+Metrics quick_run(Scheme scheme, const std::string& bench,
+                  bool da2mesh = false) {
+  Config cfg = apply_scheme(quick_config(), scheme);
+  GpgpuSim sim(cfg, *find_benchmark(bench), da2mesh);
+  sim.run_with_warmup();
+  return sim.collect();
+}
+
+class AllSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AllSchemes, RunsAndMakesProgress) {
+  const Metrics m = quick_run(GetParam(), "bfs");
+  EXPECT_GT(m.ipc, 0.05) << scheme_name(GetParam());
+  EXPECT_GT(m.warp_instructions, 100u);
+  EXPECT_GT(m.flits_by_type[0] + m.flits_by_type[2], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeSweep, AllSchemes,
+    ::testing::Values(Scheme::kRawBaseline, Scheme::kXYBaseline,
+                      Scheme::kXYARI, Scheme::kAdaBaseline,
+                      Scheme::kAdaMultiPort, Scheme::kAdaARI,
+                      Scheme::kAccSupply, Scheme::kAccConsume,
+                      Scheme::kAccBothNoPrio),
+    [](const auto& info) {
+      std::string n = scheme_name(info.param);
+      for (char& c : n) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const Metrics a = quick_run(Scheme::kAdaARI, "bfs");
+  const Metrics b = quick_run(Scheme::kAdaARI, "bfs");
+  EXPECT_EQ(a.warp_instructions, b.warp_instructions);
+  EXPECT_EQ(a.mc_stall_cycles, b.mc_stall_cycles);
+  EXPECT_EQ(a.flits_by_type, b.flits_by_type);
+  EXPECT_DOUBLE_EQ(a.request_latency, b.request_latency);
+}
+
+TEST(Integration, SeedChangesTraffic) {
+  Config cfg = apply_scheme(quick_config(), Scheme::kAdaBaseline);
+  GpgpuSim a(cfg, *find_benchmark("bfs"));
+  cfg.seed = 999;
+  GpgpuSim b(cfg, *find_benchmark("bfs"));
+  a.run_with_warmup();
+  b.run_with_warmup();
+  EXPECT_NE(a.collect().warp_instructions, b.collect().warp_instructions);
+}
+
+TEST(Integration, AriReducesMcStallOnHighSensitivityBenchmark) {
+  // The Fig. 12 headline: ARI removes nearly all MC data stalls.
+  const Metrics base = quick_run(Scheme::kAdaBaseline, "bfs");
+  const Metrics ari = quick_run(Scheme::kAdaARI, "bfs");
+  EXPECT_GT(base.mc_stall_cycles, 100u);
+  EXPECT_LT(static_cast<double>(ari.mc_stall_cycles),
+            0.5 * static_cast<double>(base.mc_stall_cycles));
+}
+
+TEST(Integration, AriImprovesIpcOnHighSensitivityBenchmark) {
+  const Metrics base = quick_run(Scheme::kAdaBaseline, "bfs");
+  const Metrics ari = quick_run(Scheme::kAdaARI, "bfs");
+  EXPECT_GT(ari.ipc, base.ipc * 1.05);  // Fig. 11 shape.
+}
+
+TEST(Integration, AriReducesReplyLatency) {
+  const Metrics base = quick_run(Scheme::kAdaBaseline, "bfs");
+  const Metrics ari = quick_run(Scheme::kAdaARI, "bfs");
+  EXPECT_LT(ari.reply_latency, base.reply_latency);
+}
+
+TEST(Integration, LowSensitivityBenchmarkUnaffected) {
+  const Metrics base = quick_run(Scheme::kAdaBaseline, "matrixMul");
+  const Metrics ari = quick_run(Scheme::kAdaARI, "matrixMul");
+  EXPECT_NEAR(ari.ipc / base.ipc, 1.0, 0.05);
+}
+
+TEST(Integration, ReplyNetworkCarriesMostFlits) {
+  // Fig. 5: read replies dominate the flit mix.
+  const Metrics m = quick_run(Scheme::kXYBaseline, "bfs");
+  const double total = static_cast<double>(
+      m.flits_by_type[0] + m.flits_by_type[1] + m.flits_by_type[2] +
+      m.flits_by_type[3]);
+  const double reply = static_cast<double>(m.flits_by_type[2] +
+                                           m.flits_by_type[3]);
+  EXPECT_GT(reply / total, 0.55);
+}
+
+TEST(Integration, InjectionLinksHotterThanInternalLinks) {
+  // §3: reply injection-link utilization far above in-network utilization.
+  const Metrics m = quick_run(Scheme::kXYBaseline, "bfs");
+  EXPECT_GT(m.reply_injection_util, 2.0 * m.reply_internal_util);
+}
+
+TEST(Integration, RequestLatencyExceedsReplyLatencyAtBaseline) {
+  // Fig. 3: backpressure inflates request latency although congestion is
+  // on the reply side.
+  const Metrics m = quick_run(Scheme::kXYBaseline, "bfs");
+  EXPECT_GT(m.request_latency, m.reply_latency);
+}
+
+TEST(Integration, LiveTxnsBoundedByStructuralCapacity) {
+  // Conservation: outstanding transactions can never exceed what the
+  // structures (MSHRs, queues, network buffers) can hold — no txn leak.
+  Config cfg = apply_scheme(quick_config(), Scheme::kAdaARI);
+  GpgpuSim sim(cfg, *find_benchmark("hotspot"));
+  const std::size_t bound =
+      sim.num_cores() * (cfg.mshr_entries + 2 * cfg.ni_queue_flits + 64) +
+      sim.num_mcs() * (cfg.mc_request_queue + cfg.dram_queue_depth +
+                       cfg.ni_queue_flits + 64);
+  for (int k = 0; k < 8; ++k) {
+    sim.run(500);
+    EXPECT_LE(sim.live_txns(), bound) << "after " << sim.now() << " cycles";
+  }
+}
+
+TEST(Integration, Da2MeshOverlayRunsAndAriHelps) {
+  const Metrics plain = quick_run(Scheme::kAdaBaseline, "bfs", true);
+  const Metrics ari = quick_run(Scheme::kAdaARI, "bfs", true);
+  EXPECT_GT(plain.ipc, 0.1);
+  EXPECT_GE(ari.ipc, plain.ipc);  // Fig. 16 direction.
+}
+
+TEST(Integration, MeshSizesRun) {
+  for (std::uint32_t k : {4u, 8u}) {
+    Config cfg = apply_scheme(quick_config(), Scheme::kAdaARI);
+    cfg.mesh_width = cfg.mesh_height = k;
+    GpgpuSim sim(cfg, *find_benchmark("bfs"));
+    sim.run_with_warmup();
+    EXPECT_GT(sim.collect().ipc, 0.05) << k << "x" << k;
+  }
+}
+
+TEST(Integration, TwoVcConfigurationRuns) {
+  Config cfg = apply_scheme(quick_config(), Scheme::kAdaARI);
+  cfg.num_vcs = 2;
+  cfg.injection_speedup = 2;
+  cfg.split_queues = 2;
+  ASSERT_EQ(cfg.validate(), "");
+  GpgpuSim sim(cfg, *find_benchmark("bfs"));
+  sim.run_with_warmup();
+  EXPECT_GT(sim.collect().ipc, 0.05);
+}
+
+TEST(Integration, WiderReplyLinksBeatWiderRequestLinks) {
+  // The Fig. 4 experiment in miniature: doubling the reply width helps,
+  // doubling the request width does not.
+  Config cfg = apply_scheme(quick_config(), Scheme::kXYBaseline);
+  GpgpuSim base(cfg, *find_benchmark("bfs"));
+  base.run_with_warmup();
+  Config wreq = cfg;
+  wreq.link_width_bits_request = 256;
+  GpgpuSim req(wreq, *find_benchmark("bfs"));
+  req.run_with_warmup();
+  Config wrep = cfg;
+  wrep.link_width_bits_reply = 256;
+  GpgpuSim rep(wrep, *find_benchmark("bfs"));
+  rep.run_with_warmup();
+  const double b = base.collect().ipc;
+  EXPECT_GT(rep.collect().ipc, b * 1.02);
+  EXPECT_LT(req.collect().ipc, rep.collect().ipc);
+}
+
+TEST(Integration, MetricsCollectCoherent) {
+  const Metrics m = quick_run(Scheme::kAdaARI, "kmeans");
+  EXPECT_EQ(m.cycles, 3000u);
+  EXPECT_NEAR(m.ipc, static_cast<double>(m.warp_instructions) / 3000.0,
+              1e-9);
+  EXPECT_GE(m.l1_hit_rate, 0.0);
+  EXPECT_LE(m.l1_hit_rate, 1.0);
+  EXPECT_GT(m.energy.total_nj(), 0.0);
+  EXPECT_GT(m.activity.core_instructions, 0u);
+}
+
+}  // namespace
+}  // namespace arinoc

@@ -1,0 +1,125 @@
+// ARI design-guideline math (Eq. 1/2), the analytical area model and the
+// activity-based energy model.
+#include <gtest/gtest.h>
+
+#include "core/area_model.hpp"
+#include "core/energy.hpp"
+#include "core/scheme.hpp"
+
+namespace arinoc {
+namespace {
+
+// ----------------------------------------------------------- Eq. (1)/(2)
+
+TEST(SpeedupGuideline, Eq1CeilsProduct) {
+  // 0.5 pkt/cycle x 4.5 flits/pkt = 2.25 -> S >= 3.
+  EXPECT_EQ(min_speedup_eq1(0.5, 4.5), 3u);
+  EXPECT_EQ(min_speedup_eq1(0.2, 5.0), 1u);
+  EXPECT_EQ(min_speedup_eq1(1.0, 5.0), 5u);
+}
+
+TEST(SpeedupGuideline, Eq2Bound) {
+  EXPECT_EQ(max_speedup_eq2(4, 4), 4u);  // 2D mesh, 4 VCs -> 4.
+  EXPECT_EQ(max_speedup_eq2(4, 2), 2u);
+  EXPECT_EQ(max_speedup_eq2(3, 4), 3u);  // Edge router.
+}
+
+TEST(SpeedupGuideline, RecommendationClampedByEq2) {
+  // Eq. (1) wants 5, Eq. (2) caps at 4 — the paper's main configuration.
+  EXPECT_EQ(recommended_speedup(1.0, 5.0, 4, 4), 4u);
+  // Low rate: minimal S suffices.
+  EXPECT_EQ(recommended_speedup(0.1, 5.0, 4, 4), 1u);
+}
+
+TEST(SpeedupGuideline, MeanReplyFlitsWeighted) {
+  // 90% long read replies (5 flits), 10% short write replies.
+  EXPECT_NEAR(mean_reply_flits(0.9, 5), 4.6, 1e-12);
+  EXPECT_NEAR(mean_reply_flits(0.0, 5), 1.0, 1e-12);
+  EXPECT_NEAR(mean_reply_flits(1.0, 5), 5.0, 1e-12);
+}
+
+// ------------------------------------------------------------- Area §6.1
+
+TEST(AreaModel, AriRouterLargerThanBaseline) {
+  AreaModel m;
+  Config cfg = apply_scheme(Config{}, Scheme::kAdaARI);
+  const AreaReport r = m.evaluate(cfg);
+  EXPECT_GT(r.ari_router_um2, r.baseline_router_um2);
+  EXPECT_GT(r.ari_ni_um2, r.baseline_ni_um2);
+}
+
+TEST(AreaModel, PairOverheadInPaperBallpark) {
+  // Paper §6.1: ~5.4% per modified NI + MC-router pair. Accept 2-12% from
+  // the analytical substitute.
+  AreaModel m;
+  const AreaReport r = m.evaluate(apply_scheme(Config{}, Scheme::kAdaARI));
+  EXPECT_GT(r.pair_overhead_pct, 2.0);
+  EXPECT_LT(r.pair_overhead_pct, 12.0);
+}
+
+TEST(AreaModel, AmortizedOverheadBelowOnePercentish) {
+  // Paper §6.1: 0.7% amortized over the whole network (only 8 of 72
+  // router+NI pairs change).
+  AreaModel m;
+  const AreaReport r = m.evaluate(apply_scheme(Config{}, Scheme::kAdaARI));
+  EXPECT_GT(r.network_overhead_pct, 0.1);
+  EXPECT_LT(r.network_overhead_pct, 1.5);
+  EXPECT_LT(r.network_overhead_pct, r.pair_overhead_pct / 4.0);
+}
+
+TEST(AreaModel, OverheadGrowsWithSpeedup) {
+  AreaModel m;
+  Config s2 = apply_scheme(Config{}, Scheme::kAdaARI);
+  s2.injection_speedup = 2;
+  Config s4 = apply_scheme(Config{}, Scheme::kAdaARI);
+  EXPECT_LT(m.evaluate(s2).pair_overhead_pct,
+            m.evaluate(s4).pair_overhead_pct);
+}
+
+TEST(AreaModel, RouterAreaScalesWithBuffering) {
+  AreaModel m;
+  const double small = m.router_um2(5, 5, 5, 2, 5, 128);
+  const double large = m.router_um2(5, 5, 5, 4, 5, 128);
+  EXPECT_GT(large, small);
+}
+
+// ------------------------------------------------------------ Energy §7.5
+
+TEST(EnergyModel, StaticScalesWithCycles) {
+  EnergyModel m;
+  ActivityCounters a;
+  a.cycles = 1000;
+  const EnergyBreakdown e1 = m.evaluate(a);
+  a.cycles = 2000;
+  const EnergyBreakdown e2 = m.evaluate(a);
+  EXPECT_NEAR(e2.static_nj, 2.0 * e1.static_nj, 1e-9);
+  EXPECT_DOUBLE_EQ(e1.dynamic_nj(), 0.0);
+}
+
+TEST(EnergyModel, DynamicScalesWithActivity) {
+  EnergyModel m;
+  ActivityCounters a;
+  a.noc_link_flits = 100;
+  a.dram_accesses = 10;
+  a.core_instructions = 50;
+  const EnergyBreakdown e = m.evaluate(a);
+  EXPECT_GT(e.dynamic_noc_nj, 0.0);
+  EXPECT_GT(e.dynamic_mem_nj, 0.0);
+  EXPECT_GT(e.dynamic_core_nj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_nj(), e.dynamic_nj() + e.static_nj);
+}
+
+TEST(EnergyModel, SameWorkLessTimeSavesEnergy) {
+  // The Fig. 14 mechanism: equal dynamic activity, shorter runtime ->
+  // lower total energy via the static term.
+  EnergyModel m;
+  ActivityCounters slow, fast;
+  slow.noc_link_flits = fast.noc_link_flits = 10000;
+  slow.dram_accesses = fast.dram_accesses = 1000;
+  slow.cycles = 20000;
+  fast.cycles = 17000;  // ~15% faster (the ARI speedup).
+  EXPECT_LT(m.evaluate(fast).total_nj(), m.evaluate(slow).total_nj());
+}
+
+}  // namespace
+}  // namespace arinoc

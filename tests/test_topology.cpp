@@ -1,0 +1,171 @@
+// Mesh topology: coordinates, neighbours, distances, MC placement.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/topology.hpp"
+
+namespace arinoc {
+namespace {
+
+TEST(Mesh, CoordinateRoundTrip) {
+  Mesh m(6, 6, 8);
+  for (NodeId n = 0; n < 36; ++n) {
+    EXPECT_EQ(m.node_at(m.x_of(n), m.y_of(n)), n);
+  }
+}
+
+TEST(Mesh, NeighborSymmetry) {
+  Mesh m(6, 6, 8);
+  for (NodeId n = 0; n < 36; ++n) {
+    for (int d = 0; d < kNumDirections; ++d) {
+      const NodeId nb = m.neighbor(n, d);
+      if (nb == kInvalidNode) continue;
+      EXPECT_EQ(m.neighbor(nb, opposite(d)), n);
+    }
+  }
+}
+
+TEST(Mesh, EdgeNodesHaveNoOutsideNeighbors) {
+  Mesh m(4, 4, 4);
+  EXPECT_EQ(m.neighbor(m.node_at(0, 0), kNorth), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.node_at(0, 0), kWest), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.node_at(3, 3), kSouth), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.node_at(3, 3), kEast), kInvalidNode);
+}
+
+TEST(Mesh, HopsIsManhattanDistance) {
+  Mesh m(6, 6, 8);
+  EXPECT_EQ(m.hops(m.node_at(0, 0), m.node_at(5, 5)), 10u);
+  EXPECT_EQ(m.hops(m.node_at(2, 3), m.node_at(2, 3)), 0u);
+  EXPECT_EQ(m.hops(m.node_at(1, 1), m.node_at(4, 1)), 3u);
+}
+
+TEST(Mesh, McCountMatchesRequest) {
+  Mesh m(6, 6, 8);
+  EXPECT_EQ(m.mc_nodes().size(), 8u);
+  EXPECT_EQ(m.cc_nodes().size(), 28u);
+}
+
+TEST(Mesh, McAndCcPartitionNodes) {
+  Mesh m(6, 6, 8);
+  std::set<NodeId> all;
+  for (NodeId n : m.mc_nodes()) {
+    EXPECT_TRUE(m.is_mc(n));
+    all.insert(n);
+  }
+  for (NodeId n : m.cc_nodes()) {
+    EXPECT_FALSE(m.is_mc(n));
+    all.insert(n);
+  }
+  EXPECT_EQ(all.size(), 36u);
+}
+
+TEST(Mesh, DiamondPlacementSpreadsMcs) {
+  // The diamond-style placement must not cluster MCs: minimum pairwise
+  // distance of at least 2 hops in a 6x6/8-MC mesh.
+  Mesh m(6, 6, 8);
+  const auto& mcs = m.mc_nodes();
+  for (std::size_t i = 0; i < mcs.size(); ++i) {
+    for (std::size_t j = i + 1; j < mcs.size(); ++j) {
+      EXPECT_GE(m.hops(mcs[i], mcs[j]), 2u)
+          << "MCs " << mcs[i] << " and " << mcs[j] << " are adjacent";
+    }
+  }
+}
+
+TEST(Mesh, McsAvoidCorners) {
+  Mesh m(6, 6, 8);
+  for (NodeId corner : {m.node_at(0, 0), m.node_at(5, 0), m.node_at(0, 5),
+                        m.node_at(5, 5)}) {
+    EXPECT_FALSE(m.is_mc(corner)) << "corner node " << corner << " is an MC";
+  }
+}
+
+TEST(Mesh, BisectionLinkCount) {
+  // 6x6 mesh: 12 uni-directional links cross the vertical bisection —
+  // exactly the paper's 192 GB/s bisection-bandwidth calculation (§3).
+  Mesh m(6, 6, 8);
+  EXPECT_EQ(m.bisection_links(), 12u);
+}
+
+TEST(Mesh, PlacementIsDeterministic) {
+  Mesh a(6, 6, 8), b(6, 6, 8);
+  EXPECT_EQ(a.mc_nodes(), b.mc_nodes());
+}
+
+class MeshSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MeshSizes, PlacementWorksAcrossScalabilitySizes) {
+  const std::uint32_t k = GetParam();
+  Mesh m(k, k, 8);
+  EXPECT_EQ(m.mc_nodes().size(), 8u);
+  EXPECT_EQ(m.cc_nodes().size(), k * k - 8u);
+  // Every MC has full mesh connectivity to at least 2 neighbours.
+  for (NodeId mc : m.mc_nodes()) {
+    int degree = 0;
+    for (int d = 0; d < kNumDirections; ++d) {
+      if (m.neighbor(mc, d) != kInvalidNode) ++degree;
+    }
+    EXPECT_GE(degree, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalabilitySweep, MeshSizes,
+                         ::testing::Values(4u, 6u, 8u));
+
+TEST(McPlacement, TopBottomSitsOnEdgeRows) {
+  Mesh m(6, 6, 8, McPlacement::kTopBottom);
+  EXPECT_EQ(m.mc_nodes().size(), 8u);
+  for (NodeId mc : m.mc_nodes()) {
+    EXPECT_TRUE(m.y_of(mc) == 0 || m.y_of(mc) == 5) << "MC at row "
+                                                    << m.y_of(mc);
+  }
+}
+
+TEST(McPlacement, ColumnClustersInCenter) {
+  Mesh m(6, 6, 8, McPlacement::kColumn);
+  EXPECT_EQ(m.mc_nodes().size(), 8u);
+  for (NodeId mc : m.mc_nodes()) {
+    EXPECT_TRUE(m.x_of(mc) == 2 || m.x_of(mc) == 3);
+  }
+}
+
+TEST(McPlacement, DiamondSpreadsFartherThanColumn) {
+  auto mean_pairwise = [](const Mesh& m) {
+    double sum = 0;
+    int n = 0;
+    const auto& mcs = m.mc_nodes();
+    for (std::size_t i = 0; i < mcs.size(); ++i) {
+      for (std::size_t j = i + 1; j < mcs.size(); ++j) {
+        sum += m.hops(mcs[i], mcs[j]);
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  Mesh diamond(6, 6, 8, McPlacement::kDiamond);
+  Mesh column(6, 6, 8, McPlacement::kColumn);
+  EXPECT_GT(mean_pairwise(diamond), mean_pairwise(column));
+}
+
+TEST(McPlacement, NamesStable) {
+  EXPECT_STREQ(placement_name(McPlacement::kDiamond), "diamond");
+  EXPECT_STREQ(placement_name(McPlacement::kTopBottom), "top-bottom");
+  EXPECT_STREQ(placement_name(McPlacement::kColumn), "column");
+}
+
+TEST(Direction, OppositePairs) {
+  EXPECT_EQ(opposite(kNorth), kSouth);
+  EXPECT_EQ(opposite(kSouth), kNorth);
+  EXPECT_EQ(opposite(kEast), kWest);
+  EXPECT_EQ(opposite(kWest), kEast);
+}
+
+TEST(Direction, NamesAreStable) {
+  EXPECT_STREQ(direction_name(kNorth), "N");
+  EXPECT_STREQ(direction_name(kLocal), "L");
+}
+
+}  // namespace
+}  // namespace arinoc

@@ -1,0 +1,268 @@
+// Workload suite composition and trace-generator statistics: the synthetic
+// streams must reproduce the traits they were parameterized with.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/benchmark.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/tracegen.hpp"
+
+namespace arinoc {
+namespace {
+
+TEST(Suite, ThirtyBenchmarks) {
+  EXPECT_EQ(benchmark_suite().size(), 30u);
+}
+
+TEST(Suite, SensitivityMixMatchesPaper) {
+  // §6.2: 9 highly sensitive, 11 medium, 10 low.
+  EXPECT_EQ(benchmarks_with(Sensitivity::kHigh).size(), 9u);
+  EXPECT_EQ(benchmarks_with(Sensitivity::kMedium).size(), 11u);
+  EXPECT_EQ(benchmarks_with(Sensitivity::kLow).size(), 10u);
+}
+
+TEST(Suite, NamesUnique) {
+  std::set<std::string> names;
+  for (const auto& b : benchmark_suite()) names.insert(b.name);
+  EXPECT_EQ(names.size(), 30u);
+}
+
+TEST(Suite, FindByName) {
+  ASSERT_NE(find_benchmark("bfs"), nullptr);
+  EXPECT_EQ(find_benchmark("bfs")->sensitivity, Sensitivity::kHigh);
+  EXPECT_EQ(find_benchmark("no-such-benchmark"), nullptr);
+}
+
+TEST(Suite, FigureSubsetsExist) {
+  for (const auto& name : fig6_benchmarks()) {
+    EXPECT_NE(find_benchmark(name), nullptr) << name;
+  }
+  for (const auto& name : fig9_benchmarks()) {
+    EXPECT_NE(find_benchmark(name), nullptr) << name;
+  }
+  for (const auto& name : fig15_benchmarks()) {
+    EXPECT_NE(find_benchmark(name), nullptr) << name;
+  }
+  EXPECT_EQ(fig9_benchmarks().size(), 2u);
+  EXPECT_EQ(fig15_benchmarks().size(), 4u);
+}
+
+TEST(Suite, TraitsWithinModelRanges) {
+  for (const auto& b : benchmark_suite()) {
+    EXPECT_GT(b.mem_ratio, 0.0) << b.name;
+    EXPECT_LT(b.mem_ratio, 1.0) << b.name;
+    EXPECT_GE(b.store_frac, 0.0) << b.name;
+    EXPECT_LE(b.store_frac, 0.6) << b.name;
+    EXPECT_GE(b.lines_mean, 1.0) << b.name;
+    EXPECT_LE(b.lines_mean, 4.0) << b.name;
+    EXPECT_GT(b.working_set_kb, 0u) << b.name;
+  }
+}
+
+TEST(Suite, HighSensitivityMeansMoreTraffic) {
+  // Class averages of memory intensity must be ordered high > med > low.
+  auto class_mean = [](Sensitivity s) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& b : benchmark_suite()) {
+      if (b.sensitivity == s) {
+        sum += b.mem_ratio;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  EXPECT_GT(class_mean(Sensitivity::kHigh), class_mean(Sensitivity::kMedium));
+  EXPECT_GT(class_mean(Sensitivity::kMedium), class_mean(Sensitivity::kLow));
+}
+
+// ------------------------------------------------------------- TraceGen
+
+TEST(TraceGen, DeterministicForSameSeed) {
+  const BenchmarkTraits& t = *find_benchmark("bfs");
+  TraceGen a(t, 4, 4, 64, 42), b(t, 4, 4, 64, 42);
+  for (int i = 0; i < 500; ++i) {
+    const Instr x = a.next(1, 2);
+    const Instr y = b.next(1, 2);
+    EXPECT_EQ(x.is_mem, y.is_mem);
+    EXPECT_EQ(x.is_store, y.is_store);
+    EXPECT_EQ(x.num_lines, y.num_lines);
+    for (int k = 0; k < x.num_lines; ++k) EXPECT_EQ(x.lines[k], y.lines[k]);
+  }
+}
+
+TEST(TraceGen, MemRatioMatchesTraits) {
+  const BenchmarkTraits& t = *find_benchmark("bfs");  // mem_ratio 0.42.
+  TraceGen gen(t, 1, 1, 64, 7);
+  int mem = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.next(0, 0).is_mem) ++mem;
+  }
+  EXPECT_NEAR(static_cast<double>(mem) / n, t.mem_ratio, 0.02);
+}
+
+TEST(TraceGen, StoreFractionMatchesTraits) {
+  const BenchmarkTraits& t = *find_benchmark("transpose");  // stores 0.45.
+  TraceGen gen(t, 1, 1, 64, 7);
+  int mem = 0, stores = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const Instr instr = gen.next(0, 0);
+    if (instr.is_mem) {
+      ++mem;
+      if (instr.is_store) ++stores;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(stores) / mem, t.store_frac, 0.03);
+}
+
+TEST(TraceGen, MeanLinesMatchesTraits) {
+  const BenchmarkTraits& t = *find_benchmark("mummergpu");  // lines 3.2.
+  TraceGen gen(t, 1, 1, 64, 7);
+  double lines = 0;
+  int mem = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const Instr instr = gen.next(0, 0);
+    if (instr.is_mem) {
+      ++mem;
+      lines += instr.num_lines;
+    }
+  }
+  // Before coalescing (duplicates possible), mean matches the trait.
+  EXPECT_NEAR(lines / mem, t.lines_mean, 0.1);
+}
+
+TEST(TraceGen, AddressesLineAlignedAndInBounds) {
+  const BenchmarkTraits& t = *find_benchmark("hotspot");
+  const std::uint32_t cores = 4;
+  TraceGen gen(t, cores, 2, 64, 9);
+  const Addr ws = static_cast<Addr>(t.working_set_kb) * 1024;
+  const Addr limit = ws * (cores + 1);  // Private regions + shared region.
+  for (int i = 0; i < 20000; ++i) {
+    const Instr instr = gen.next(i % cores, i % 2);
+    for (int k = 0; k < instr.num_lines; ++k) {
+      EXPECT_EQ(instr.lines[k] % 64, 0u);
+      EXPECT_LT(instr.lines[k], limit);
+    }
+  }
+}
+
+TEST(TraceGen, PrivateRegionsAreDisjointAcrossCores) {
+  BenchmarkTraits t = *find_benchmark("matrixMul");
+  t.shared_frac = 0.0;  // Only private accesses.
+  const Addr ws = static_cast<Addr>(t.working_set_kb) * 1024;
+  TraceGen gen(t, 3, 1, 64, 11);
+  for (int i = 0; i < 5000; ++i) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      const Instr instr = gen.next(c, 0);
+      for (int k = 0; k < instr.num_lines; ++k) {
+        EXPECT_GE(instr.lines[k], ws * c);
+        EXPECT_LT(instr.lines[k], ws * (c + 1));
+      }
+    }
+  }
+}
+
+TEST(TraceGen, SharedFractionTargetsSharedRegion) {
+  BenchmarkTraits t = *find_benchmark("bfs");
+  t.shared_frac = 1.0;
+  t.locality = 0.0;
+  const std::uint32_t cores = 2;
+  const Addr ws = static_cast<Addr>(t.working_set_kb) * 1024;
+  TraceGen gen(t, cores, 1, 64, 13);
+  for (int i = 0; i < 2000; ++i) {
+    const Instr instr = gen.next(0, 0);
+    for (int k = 0; k < instr.num_lines; ++k) {
+      EXPECT_GE(instr.lines[k], ws * cores);  // Shared region is last.
+    }
+  }
+}
+
+TEST(TraceGen, LocalityProducesRepeatedLines) {
+  BenchmarkTraits hi = *find_benchmark("matrixMul");  // locality 0.78.
+  BenchmarkTraits lo = hi;
+  lo.locality = 0.0;
+  auto distinct_frac = [](const BenchmarkTraits& t) {
+    TraceGen gen(t, 1, 1, 64, 21);
+    std::set<Addr> seen;
+    int total = 0;
+    for (int i = 0; i < 20000 && total < 2000; ++i) {
+      const Instr instr = gen.next(0, 0);
+      if (!instr.is_mem) continue;
+      for (int k = 0; k < instr.num_lines; ++k) {
+        seen.insert(instr.lines[k]);
+        ++total;
+      }
+    }
+    return static_cast<double>(seen.size()) / total;
+  };
+  EXPECT_LT(distinct_frac(hi), distinct_frac(lo));
+}
+
+TEST(TraceGen, BurstinessModulatesPhases) {
+  BenchmarkTraits t = *find_benchmark("srad");
+  t.burstiness = 0.8;
+  t.burst_period = 200;
+  TraceGen gen(t, 1, 1, 64, 5);
+  // First half of the period is the hot phase, second half cold.
+  int hot_mem = 0, cold_mem = 0;
+  for (int period = 0; period < 100; ++period) {
+    for (int i = 0; i < 100; ++i) {
+      if (gen.next(0, 0).is_mem) ++hot_mem;
+    }
+    for (int i = 0; i < 100; ++i) {
+      if (gen.next(0, 0).is_mem) ++cold_mem;
+    }
+  }
+  EXPECT_GT(hot_mem, cold_mem * 3);  // (1+b)/(1-b) = 9 in expectation.
+}
+
+TEST(TraceGen, ZeroBurstinessIsStationary) {
+  const BenchmarkTraits& t = *find_benchmark("srad");
+  ASSERT_EQ(t.burstiness, 0.0);
+  TraceGen gen(t, 1, 1, 64, 5);
+  int first = 0, second = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (gen.next(0, 0).is_mem) ++first;
+  }
+  for (int i = 0; i < 5000; ++i) {
+    if (gen.next(0, 0).is_mem) ++second;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / second, 1.0, 0.1);
+}
+
+// Parameterized property: every suite benchmark generates a valid stream.
+class AllBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllBenchmarks, GeneratesValidInstructions) {
+  const BenchmarkTraits& t = *find_benchmark(GetParam());
+  TraceGen gen(t, 2, 2, 64, 3);
+  int mem = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Instr instr = gen.next(i % 2, (i / 2) % 2);
+    if (instr.is_mem) {
+      ++mem;
+      ASSERT_GE(instr.num_lines, 1);
+      ASSERT_LE(instr.num_lines, Instr::kMaxLines);
+    } else {
+      ASSERT_EQ(instr.num_lines, 0);
+    }
+  }
+  EXPECT_GT(mem, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllBenchmarks,
+                         ::testing::ValuesIn(all_benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace arinoc
