@@ -17,12 +17,33 @@
 //     --placement <p>         diamond | top-bottom | column
 //     --json                  machine-readable metrics on stdout
 //     --list-benchmarks       print the 30-benchmark suite and exit
+//
+//   Fault injection (reply network; all rates default to 0 = off):
+//     --fault-corrupt <p>     per-link/cycle transient corruption prob.
+//     --fault-stall <p>       per-link/cycle stall-window probability
+//     --fault-stall-len <n>   stall window length in cycles (default: 20)
+//     --fault-port-fail <p>   per-link/cycle permanent failure probability
+//     --fault-credit-loss <p> per-link/cycle credit-loss probability
+//     --fault-seed <n>        fault RNG stream seed    (default: 12345)
+//     --no-recovery           disable CRC drop + ACK/NACK retransmission
+//
+//   Watchdog (on by default):
+//     --no-watchdog           disable deadlock/livelock detection
+//     --watchdog-deadlock <K> no-movement window        (default: 5000)
+//     --watchdog-livelock <n> per-packet age ceiling    (default: 50000)
+//     --audit-interval <n>    credit-invariant audit period (default: off)
+//
+//   Exit codes: 0 ok, 1 runtime error, 2 usage/config error,
+//               3 deadlock detected, 4 livelock detected,
+//               5 invariant violation detected.
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/watchdog.hpp"
 #include "core/report.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/tracefile.hpp"
@@ -41,7 +62,7 @@ std::optional<Scheme> parse_scheme(const std::string& name) {
   return std::nullopt;
 }
 
-void print_human(const Metrics& m) {
+void print_human(const Metrics& m, bool faults) {
   TextTable t({"metric", "value"});
   t.add_row({"cycles", std::to_string(m.cycles)});
   t.add_row({"IPC (warp instr/cycle)", fmt(m.ipc)});
@@ -55,6 +76,20 @@ void print_human(const Metrics& m) {
                                      fmt_pct(m.l2_hit_rate)});
   t.add_row({"DRAM row hit rate", fmt_pct(m.dram_row_hit_rate)});
   t.add_row({"energy (nJ)", fmt(m.energy.total_nj(), 0)});
+  if (faults) {
+    t.add_row({"flits corrupted", std::to_string(m.flits_corrupted)});
+    t.add_row({"packets corrupted", std::to_string(m.packets_corrupted)});
+    t.add_row({"packets retransmitted",
+               std::to_string(m.packets_retransmitted)});
+    t.add_row({"packets recovered", std::to_string(m.packets_recovered)});
+    t.add_row({"packets lost", std::to_string(m.packets_lost)});
+    t.add_row({"duplicates dropped", std::to_string(m.duplicates_dropped)});
+    t.add_row({"credits lost", std::to_string(m.credits_lost)});
+    t.add_row({"link stall events", std::to_string(m.link_stall_events)});
+    t.add_row({"port failures", std::to_string(m.port_failures)});
+    t.add_row({"retransmitted flits",
+               std::to_string(m.activity.noc_retx_flits)});
+  }
   std::printf("%s", t.to_string().c_str());
 }
 
@@ -104,6 +139,29 @@ int main(int argc, char** argv) {
       cfg.warmup_cycles = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--seed") {
       cfg.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--fault-corrupt") {
+      cfg.fault_corrupt_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--fault-stall") {
+      cfg.fault_link_stall_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--fault-stall-len") {
+      cfg.fault_link_stall_len =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--fault-port-fail") {
+      cfg.fault_port_fail_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--fault-credit-loss") {
+      cfg.fault_credit_loss_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--fault-seed") {
+      cfg.fault_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--no-recovery") {
+      cfg.fault_recovery = false;
+    } else if (arg == "--no-watchdog") {
+      cfg.watchdog_enabled = false;
+    } else if (arg == "--watchdog-deadlock") {
+      cfg.watchdog_deadlock_window = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--watchdog-livelock") {
+      cfg.watchdog_livelock_age = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--audit-interval") {
+      cfg.watchdog_audit_interval = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--da2mesh") {
       da2mesh = true;
     } else if (arg == "--placement") {
@@ -140,29 +198,35 @@ int main(int argc, char** argv) {
   }
 
   Metrics m;
-  if (!trace_path.empty()) {
-    try {
+  try {
+    if (!trace_path.empty()) {
       Trace trace = Trace::load(trace_path);
       TraceFileSource source(std::move(trace), cfg.num_ccs(),
                              cfg.warps_per_core, cfg.line_bytes);
       GpgpuSim sim(cfg, &source, da2mesh);
       sim.run_with_warmup();
       m = sim.collect();
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 1;
+    } else {
+      const BenchmarkTraits* traits = find_benchmark(benchmark);
+      if (traits == nullptr) {
+        std::fprintf(stderr,
+                     "unknown benchmark '%s' (see --list-benchmarks)\n",
+                     benchmark.c_str());
+        return 2;
+      }
+      GpgpuSim sim(cfg, *traits, da2mesh);
+      sim.run_with_warmup();
+      m = sim.collect();
     }
-  } else {
-    const BenchmarkTraits* traits = find_benchmark(benchmark);
-    if (traits == nullptr) {
-      std::fprintf(stderr,
-                   "unknown benchmark '%s' (see --list-benchmarks)\n",
-                   benchmark.c_str());
-      return 2;
-    }
-    GpgpuSim sim(cfg, *traits, da2mesh);
-    sim.run_with_warmup();
-    m = sim.collect();
+  } catch (const WatchdogTrip& trip) {
+    std::fprintf(stderr, "%s\n%s", trip.what(), trip.dump().c_str());
+    return trip.exit_status();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
   }
 
   if (json) {
@@ -170,7 +234,7 @@ int main(int argc, char** argv) {
   } else {
     std::printf("scheme: %s   workload: %s\n", scheme_name(scheme),
                 trace_path.empty() ? benchmark.c_str() : trace_path.c_str());
-    print_human(m);
+    print_human(m, cfg.fault_enabled());
   }
   return 0;
 }

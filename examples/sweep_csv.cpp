@@ -12,13 +12,19 @@
 using namespace arinoc;
 
 int main() {
+  const Config base = make_base_config();
+  const std::string err = base.validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid base configuration: %s\n", err.c_str());
+    return 2;
+  }
   std::vector<SweepPoint> points;
   for (std::uint32_t s = 1; s <= 4; ++s) {
     points.push_back({"S=" + std::to_string(s), [s](Config& c) {
                         c.injection_speedup = std::min(s, c.num_vcs);
                       }});
   }
-  const auto cells = Sweep(make_base_config())
+  const auto cells = Sweep(base)
                          .over(points)
                          .schemes({Scheme::kAdaARI})
                          .benchmarks({"bfs", "kmeans", "hotspot"})

@@ -4,27 +4,71 @@
 
 namespace arinoc {
 
+bool Config::fault_enabled() const {
+  return ((fault_enable_mask & 0x1) != 0 && fault_corrupt_rate > 0.0) ||
+         ((fault_enable_mask & 0x2) != 0 && fault_link_stall_rate > 0.0) ||
+         ((fault_enable_mask & 0x4) != 0 && fault_port_fail_rate > 0.0) ||
+         ((fault_enable_mask & 0x8) != 0 && fault_credit_loss_rate > 0.0);
+}
+
 std::string Config::validate() const {
   std::ostringstream err;
-  if (mesh_width == 0 || mesh_height == 0) err << "mesh dims must be > 0; ";
-  if (num_mcs == 0 || num_mcs >= num_nodes())
-    err << "num_mcs must be in (0, nodes); ";
-  if (num_vcs == 0) err << "num_vcs must be > 0; ";
-  if (injection_speedup == 0) err << "injection_speedup must be > 0; ";
-  if (injection_speedup > num_vcs)
-    err << "injection_speedup must be <= num_vcs (Eq.2); ";
-  if (split_queues == 0) err << "split_queues must be > 0; ";
-  if (split_queues > num_vcs) err << "split_queues must be <= num_vcs; ";
-  if (priority_levels == 0) err << "priority_levels must be > 0; ";
-  if (ni_queue_flits < reply_long_flits())
-    err << "NI queue must hold at least one long packet; ";
+  if (mesh_width == 0 || mesh_height == 0)
+    err << "mesh dimensions must be positive (got " << mesh_width << "x"
+        << mesh_height << "); ";
+  else if (num_mcs == 0 || num_mcs >= num_nodes())
+    err << "num_mcs must be in (0, nodes): got " << num_mcs << " MCs for "
+        << num_nodes() << " nodes; ";
+  if (num_vcs == 0) err << "num_vcs must be > 0 (got 0 virtual channels); ";
+  if (vc_depth_pkts == 0) err << "vc_depth_pkts must be > 0 (got 0); ";
+  if (injection_speedup == 0)
+    err << "injection_speedup S must be >= 1 (got 0); ";
+  if (num_vcs > 0 && injection_speedup > num_vcs)
+    err << "injection_speedup S=" << injection_speedup
+        << " exceeds num_vcs=" << num_vcs
+        << " (Eq.2: at most one switch port per VC is useful); ";
+  if (split_queues == 0) err << "split_queues must be > 0 (got 0); ";
+  if (num_vcs > 0 && split_queues > num_vcs)
+    err << "split_queues=" << split_queues << " exceeds num_vcs=" << num_vcs
+        << " (each split queue hard-wires to one VC); ";
+  if (priority_levels == 0) err << "priority_levels must be > 0 (got 0); ";
+  if (link_width_bits_request == 0 || link_width_bits_reply == 0)
+    err << "link widths must be positive (got request="
+        << link_width_bits_request << ", reply=" << link_width_bits_reply
+        << " bits); ";
+  else if (ni_queue_flits < reply_long_flits())
+    err << "ni_queue_flits=" << ni_queue_flits
+        << " cannot hold one long reply packet (" << reply_long_flits()
+        << " flits); ";
   if (line_bytes * 8 != data_payload_bits)
-    err << "line_bytes must equal data_payload_bits/8; ";
-  if (multiport_ports == 0) err << "multiport_ports must be > 0; ";
+    err << "line_bytes=" << line_bytes << " must equal data_payload_bits/8="
+        << data_payload_bits / 8 << "; ";
+  if (multiport_ports == 0) err << "multiport_ports must be > 0 (got 0); ";
   if (router_pipeline_stages == 0 || router_pipeline_stages > 4)
-    err << "router_pipeline_stages must be in [1, 4]; ";
-  if (warps_per_core == 0) err << "warps_per_core must be > 0; ";
-  if (dram_banks == 0) err << "dram_banks must be > 0; ";
+    err << "router_pipeline_stages must be in [1, 4] (got "
+        << router_pipeline_stages << "); ";
+  if (warps_per_core == 0) err << "warps_per_core must be > 0 (got 0); ";
+  if (dram_banks == 0) err << "dram_banks must be > 0 (got 0); ";
+  if (link_latency == 0) err << "link_latency must be >= 1 cycle (got 0); ";
+
+  auto check_rate = [&err](const char* name, double v) {
+    if (v < 0.0 || v > 1.0)
+      err << name << " must be a probability in [0, 1] (got " << v << "); ";
+  };
+  check_rate("fault_corrupt_rate", fault_corrupt_rate);
+  check_rate("fault_link_stall_rate", fault_link_stall_rate);
+  check_rate("fault_port_fail_rate", fault_port_fail_rate);
+  check_rate("fault_credit_loss_rate", fault_credit_loss_rate);
+  if (fault_link_stall_len == 0)
+    err << "fault_link_stall_len must be >= 1 cycle (got 0); ";
+  if (rtx_timeout == 0) err << "rtx_timeout must be >= 1 cycle (got 0); ";
+  if (rtx_max_retries == 0)
+    err << "rtx_max_retries must be >= 1 (got 0; use fault_recovery=false "
+           "to disable recovery); ";
+  if (watchdog_enabled && watchdog_deadlock_window == 0)
+    err << "watchdog_deadlock_window must be >= 1 cycle (got 0); ";
+  if (watchdog_enabled && watchdog_livelock_age == 0)
+    err << "watchdog_livelock_age must be >= 1 cycle (got 0); ";
   return err.str();
 }
 

@@ -132,6 +132,26 @@ struct Config {
   Cycle run_cycles = 20000;
   std::uint64_t seed = 1;
 
+  // ---- Fault injection & recovery (robustness subsystem) ----
+  // Per-link per-cycle probabilities; all zero (the default) keeps the
+  // fault subsystem entirely out of the simulation (strict no-op).
+  double fault_corrupt_rate = 0.0;      ///< Transient flit corruption.
+  double fault_link_stall_rate = 0.0;   ///< Stall-window openings.
+  std::uint32_t fault_link_stall_len = 20;  ///< Stall window (cycles).
+  double fault_port_fail_rate = 0.0;    ///< Permanent link/port failure.
+  double fault_credit_loss_rate = 0.0;  ///< Single-credit loss.
+  std::uint64_t fault_seed = 12345;     ///< Own RNG stream, not `seed`.
+  std::uint32_t fault_enable_mask = 0xF;  ///< FaultClass bits.
+  bool fault_recovery = true;           ///< CRC drop + ACK/NACK retransmit.
+  Cycle rtx_timeout = 2048;             ///< Base retransmission timeout.
+  std::uint32_t rtx_max_retries = 16;
+
+  // ---- Watchdog (deadlock / livelock / invariant audit) ----
+  bool watchdog_enabled = true;
+  Cycle watchdog_deadlock_window = 5000;  ///< K in the acceptance criteria.
+  Cycle watchdog_livelock_age = 50000;
+  Cycle watchdog_audit_interval = 0;  ///< Credit-audit period; 0 = off.
+
   // Derived helpers -------------------------------------------------------
   std::uint32_t num_nodes() const { return mesh_width * mesh_height; }
   std::uint32_t num_ccs() const { return num_nodes() - num_mcs; }
@@ -153,6 +173,9 @@ struct Config {
   std::uint32_t vc_depth_flits_request() const {
     return vc_depth_pkts * request_long_flits();
   }
+
+  /// True when any fault class is enabled with a nonzero rate.
+  bool fault_enabled() const;
 
   /// Validates internal consistency; returns an error string or empty.
   std::string validate() const;

@@ -6,7 +6,8 @@ EnergyBreakdown EnergyModel::evaluate(const ActivityCounters& c) const {
   EnergyBreakdown e;
   e.dynamic_noc_nj = static_cast<double>(c.noc_link_flits) * p_.link_flit_nj +
                      static_cast<double>(c.noc_buffer_ops) * p_.buffer_op_nj +
-                     static_cast<double>(c.noc_crossbar) * p_.crossbar_nj;
+                     static_cast<double>(c.noc_crossbar) * p_.crossbar_nj +
+                     static_cast<double>(c.noc_retx_flits) * p_.retx_flit_nj;
   e.dynamic_mem_nj =
       static_cast<double>(c.dram_activates) * p_.dram_activate_nj +
       static_cast<double>(c.dram_accesses) * p_.dram_access_nj +

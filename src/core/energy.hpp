@@ -15,6 +15,7 @@ struct ActivityCounters {
   std::uint64_t noc_link_flits = 0;       ///< Router-to-router flit hops.
   std::uint64_t noc_buffer_ops = 0;       ///< VC buffer writes + reads.
   std::uint64_t noc_crossbar = 0;         ///< Switch traversals.
+  std::uint64_t noc_retx_flits = 0;       ///< Flits re-sent for recovery.
   std::uint64_t dram_activates = 0;
   std::uint64_t dram_accesses = 0;
   std::uint64_t l2_accesses = 0;
@@ -41,6 +42,9 @@ struct EnergyParams {
   double link_flit_nj = 0.005;
   double buffer_op_nj = 0.002;
   double crossbar_nj = 0.004;
+  /// Retransmission overhead beyond the re-sent flits' ordinary link/buffer
+  /// energy: CRC check + retransmission-buffer read per re-sent flit.
+  double retx_flit_nj = 0.002;
   double dram_activate_nj = 1.0;
   double dram_access_nj = 2.0;
   double l2_access_nj = 0.05;

@@ -1,7 +1,7 @@
 #include "core/experiment.hpp"
 
-#include <cassert>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace arinoc {
 
@@ -27,9 +27,16 @@ Metrics run_scheme(const Config& base, Scheme scheme,
                    const std::string& benchmark,
                    const std::function<void(Config&)>& tweak, bool da2mesh) {
   const BenchmarkTraits* traits = find_benchmark(benchmark);
-  assert(traits != nullptr && "unknown benchmark");
+  if (traits == nullptr) {
+    throw std::invalid_argument("unknown benchmark '" + benchmark + "'");
+  }
   Config cfg = apply_scheme(base, scheme);
   if (tweak) tweak(cfg);
+  const std::string err = cfg.validate();
+  if (!err.empty()) {
+    throw std::invalid_argument("invalid configuration for scheme " +
+                                std::string(scheme_name(scheme)) + ": " + err);
+  }
   GpgpuSim sim(cfg, *traits, da2mesh);
   sim.run_with_warmup();
   return sim.collect();

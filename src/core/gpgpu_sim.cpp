@@ -1,6 +1,9 @@
 #include "core/gpgpu_sim.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <sstream>
+#include <stdexcept>
 
 namespace arinoc {
 
@@ -98,6 +101,9 @@ NetworkParams reply_params(const Config& cfg) {
   p.mc_injection_ports =
       cfg.reply_ni == NiArch::kMultiPort ? cfg.multiport_ports : 1;
   p.treat_mcs_specially = true;
+  // The fault campaign targets the reply network — the paper's bottleneck
+  // and the side whose loss the cores cannot tolerate.
+  p.fault = fault_params_from(cfg);
   return p;
 }
 
@@ -126,8 +132,14 @@ GpgpuSim::GpgpuSim(const Config& cfg, InstrSource* source, bool use_da2mesh)
 void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
   const Config& cfg = cfg_;
   const std::string err = cfg.validate();
-  assert(err.empty() && "invalid configuration");
-  (void)err;
+  if (!err.empty()) {
+    throw std::invalid_argument("invalid configuration: " + err);
+  }
+  if (use_da2mesh && cfg.fault_enabled()) {
+    throw std::invalid_argument(
+        "fault injection targets the mesh reply network and is not "
+        "supported with the DA2mesh overlay");
+  }
 
   request_net_ = std::make_unique<Network>(request_params(cfg), &mesh_);
   request_net_->data_payload_bits = cfg.data_payload_bits;
@@ -185,6 +197,22 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
       overlay_->set_sink(node, cores_.back().get());
     }
   }
+
+  // Recovery: re-injections of NACKed/timed-out reply packets go through the
+  // same MC injection NIs as first transmissions.
+  if (RetransmitTracker* rtx = reply_net_->retransmit()) {
+    for (std::size_t i = 0; i < mc_nodes.size(); ++i) {
+      rtx->register_ni(mc_nodes[i], reply_inject_[i].get());
+    }
+  }
+
+  if (cfg.watchdog_enabled) {
+    WatchdogParams wp;
+    wp.deadlock_window = cfg.watchdog_deadlock_window;
+    wp.livelock_age = cfg.watchdog_livelock_age;
+    wp.audit_interval = cfg.watchdog_audit_interval;
+    watchdog_ = std::make_unique<Watchdog>(wp);
+  }
 }
 
 GpgpuSim::~GpgpuSim() = default;
@@ -215,6 +243,49 @@ void GpgpuSim::step() {
     for (auto& ni : reply_inject_) ni->sample();
   }
   ++cycle_;
+
+  // 7) Liveness checks (read-only; subsampled inside the watchdog). The
+  // overlay reply path has no movement probes, so only the mesh networks
+  // are monitored there.
+  if (watchdog_) {
+    const auto observe = [this]() {
+      Watchdog::Observation obs;
+      obs.movement = request_net_->movement_count();
+      if (!overlay_) obs.movement += reply_net_->movement_count();
+      obs.live_packets = request_net_->arena().live();
+      if (!overlay_) obs.live_packets += reply_net_->arena().live();
+      if (const RetransmitTracker* rtx = reply_net_->retransmit()) {
+        obs.live_packets += rtx->pending();
+      }
+      if (obs.live_packets > 0) {
+        Cycle oldest = request_net_->arena().oldest_created(cycle_);
+        if (!overlay_) {
+          oldest = std::min(oldest, reply_net_->arena().oldest_created(cycle_));
+        }
+        if (const RetransmitTracker* rtx = reply_net_->retransmit()) {
+          oldest = std::min(oldest, rtx->oldest_pending_created(cycle_));
+        }
+        obs.oldest_created = oldest;
+        obs.has_oldest = true;
+      }
+      return obs;
+    };
+    const auto audit = [this]() {
+      std::string err = request_net_->validate_credit_invariants();
+      if (err.empty() && !overlay_) {
+        err = reply_net_->validate_credit_invariants();
+      }
+      return err;
+    };
+    const WatchdogTripKind kind = watchdog_->poll(cycle_, observe, audit);
+    if (kind != WatchdogTripKind::kNone) {
+      std::ostringstream summary;
+      summary << "watchdog: " << watchdog_trip_name(kind) << " at cycle "
+              << cycle_ << " — " << watchdog_->detail();
+      throw WatchdogTrip(kind, summary.str(),
+                         diagnostic_dump(summary.str()));
+    }
+  }
 }
 
 void GpgpuSim::run(Cycle cycles) {
@@ -237,6 +308,78 @@ void GpgpuSim::reset_stats() {
     if (ni) ni->reset_stats();
   }
   measure_start_ = cycle_;
+}
+
+std::string GpgpuSim::diagnostic_dump(const std::string& reason) const {
+  std::ostringstream os;
+  os << "==== arinoc diagnostic dump (cycle " << cycle_ << ") ====\n";
+  if (!reason.empty()) os << "trigger: " << reason << "\n";
+
+  const auto dump_net = [&os](const Network& net, const Mesh& mesh,
+                              Cycle now) {
+    const PacketArena& arena = net.arena();
+    os << "network '" << net.params().name << "': " << arena.live()
+       << " live packet(s)\n";
+    // Oldest live packets first-hand: id, type, route, age.
+    struct LivePkt {
+      PacketId id;
+      Cycle created;
+    };
+    std::vector<LivePkt> live;
+    for (PacketId id = 0; id < static_cast<PacketId>(arena.capacity()); ++id) {
+      if (arena.is_live(id)) live.push_back({id, arena.at(id).created});
+    }
+    std::sort(live.begin(), live.end(),
+              [](const LivePkt& a, const LivePkt& b) {
+                return a.created < b.created;
+              });
+    const std::size_t show = std::min<std::size_t>(live.size(), 8);
+    for (std::size_t i = 0; i < show; ++i) {
+      const Packet& p = arena.at(live[i].id);
+      os << "  pkt " << live[i].id << " " << packet_type_name(p.type) << " "
+         << p.src << "->" << p.dest << " age " << (now - p.created)
+         << " cycles\n";
+    }
+    if (live.size() > show) {
+      os << "  ... and " << live.size() - show << " more\n";
+    }
+    // Non-empty router input VCs and ejection backlogs.
+    for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
+      const Router& r = net.router(n);
+      std::ostringstream row;
+      for (int d = 0; d < kNumDirections; ++d) {
+        for (std::uint32_t vc = 0; vc < net.params().num_vcs; ++vc) {
+          const std::size_t b = r.input_buffered(d, static_cast<int>(vc));
+          if (b > 0) {
+            row << " " << direction_name(d) << "/vc" << vc << "=" << b;
+          }
+        }
+      }
+      if (r.ejection_backlog() > 0) row << " eject=" << r.ejection_backlog();
+      const std::string s = row.str();
+      if (!s.empty()) os << "  router " << n << " occupancy:" << s << "\n";
+    }
+    if (const FaultInjector* fi = net.fault()) {
+      const std::string blocked = fi->describe_blocked();
+      if (!blocked.empty()) os << "  blocked links:\n" << blocked;
+    }
+    if (const RetransmitTracker* rtx = net.retransmit()) {
+      os << "  retransmission: " << rtx->pending() << " pending, "
+         << rtx->retransmitted() << " retransmitted, " << rtx->lost()
+         << " lost\n";
+    }
+  };
+  dump_net(*request_net_, mesh_, cycle_);
+  if (!overlay_) dump_net(*reply_net_, mesh_, cycle_);
+
+  for (const auto& mc : mcs_) {
+    os << "mc node " << mc->node() << ": stall_cycles=" << mc->stall_cycles()
+       << " reply_backlog=" << mc->reply_backlog()
+       << " mean_request_q=" << mc->mean_request_q() << "\n";
+  }
+  os << "live transactions: " << txns_.live() << "\n";
+  os << "====\n";
+  return os.str();
 }
 
 Metrics GpgpuSim::collect() const {
@@ -287,6 +430,25 @@ Metrics GpgpuSim::collect() const {
   m.l2_hit_rate = (l2_h + l2_m) ? double(l2_h) / double(l2_h + l2_m) : 0.0;
   m.dram_row_hit_rate = dram_acc ? double(row_hits) / double(dram_acc) : 0.0;
 
+  // Fault / resilience counters (reply network only — the campaign target).
+  if (!overlay_) {
+    const NocStats& rs = reply_net_->stats();
+    m.flits_corrupted = rs.flits_corrupted;
+    m.packets_corrupted = rs.packets_corrupted;
+    m.duplicates_dropped = rs.duplicates_dropped;
+    m.packets_lost = rs.packets_lost;
+    if (const FaultInjector* fi = reply_net_->fault()) {
+      m.credits_lost = fi->counters().credits_dropped;
+      m.link_stall_events = fi->counters().stall_events;
+      m.port_failures = fi->counters().port_failures;
+    }
+    if (const RetransmitTracker* rtx = reply_net_->retransmit()) {
+      m.packets_retransmitted = rtx->retransmitted();
+      m.packets_recovered = rtx->recovered();
+      m.packets_lost += rtx->lost();
+    }
+  }
+
   // Activity counters for the energy model.
   ActivityCounters& a = m.activity;
   auto add_net = [&a](const Network& net, const Mesh& mesh) {
@@ -308,6 +470,11 @@ Metrics GpgpuSim::collect() const {
   a.l1_accesses = l1_h + l1_m;
   a.core_instructions = m.warp_instructions;
   a.cycles = m.cycles;
+  if (!overlay_) {
+    if (const RetransmitTracker* rtx = reply_net_->retransmit()) {
+      a.noc_retx_flits = rtx->retransmitted_flits();
+    }
+  }
   m.energy = EnergyModel{}.evaluate(a);
   return m;
 }

@@ -10,6 +10,7 @@
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "core/energy.hpp"
+#include "core/watchdog.hpp"
 #include "gpu/core.hpp"
 #include "mem/address_map.hpp"
 #include "mem/mem_controller.hpp"
@@ -48,6 +49,17 @@ struct Metrics {
   double l2_hit_rate = 0.0;
   double dram_row_hit_rate = 0.0;
 
+  // ---- Fault / resilience (reply network; all 0 with faults disabled) ----
+  std::uint64_t flits_corrupted = 0;
+  std::uint64_t packets_corrupted = 0;
+  std::uint64_t packets_retransmitted = 0;
+  std::uint64_t packets_recovered = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t credits_lost = 0;
+  std::uint64_t link_stall_events = 0;
+  std::uint64_t port_failures = 0;
+
   ActivityCounters activity;
   EnergyBreakdown energy;
 };
@@ -64,10 +76,18 @@ class GpgpuSim {
   GpgpuSim(const Config& cfg, InstrSource* source, bool use_da2mesh = false);
   ~GpgpuSim();
 
+  /// Advances one cycle. Throws WatchdogTrip if the watchdog (enabled by
+  /// default, cfg.watchdog_enabled) detects deadlock, livelock, or a credit
+  /// invariant violation.
   void step();
   void run(Cycle cycles);
   /// Warmup for cfg.warmup_cycles, reset statistics, run cfg.run_cycles.
   void run_with_warmup();
+
+  /// Structured diagnostic snapshot: live packets, router VC occupancy, MC
+  /// stall state, blocked links, retransmission state. Used by the watchdog
+  /// trip path; callable any time.
+  std::string diagnostic_dump(const std::string& reason) const;
 
   void reset_stats();
   Metrics collect() const;
@@ -115,6 +135,8 @@ class GpgpuSim {
   std::vector<std::unique_ptr<EjectNi>> request_eject_;    // Per MC.
   std::vector<std::unique_ptr<InjectNi>> reply_inject_;    // Per MC.
   std::vector<std::unique_ptr<EjectNi>> reply_eject_;      // Per CC.
+
+  std::unique_ptr<Watchdog> watchdog_;
 
   Cycle cycle_ = 0;
   Cycle measure_start_ = 0;

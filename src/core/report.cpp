@@ -89,6 +89,16 @@ std::string metrics_to_json(const Metrics& m, int indent) {
   num("l1_hit_rate", m.l1_hit_rate);
   num("l2_hit_rate", m.l2_hit_rate);
   num("dram_row_hit_rate", m.dram_row_hit_rate);
+  num("flits_corrupted", static_cast<double>(m.flits_corrupted));
+  num("packets_corrupted", static_cast<double>(m.packets_corrupted));
+  num("packets_retransmitted", static_cast<double>(m.packets_retransmitted));
+  num("packets_recovered", static_cast<double>(m.packets_recovered));
+  num("packets_lost", static_cast<double>(m.packets_lost));
+  num("duplicates_dropped", static_cast<double>(m.duplicates_dropped));
+  num("credits_lost", static_cast<double>(m.credits_lost));
+  num("link_stall_events", static_cast<double>(m.link_stall_events));
+  num("port_failures", static_cast<double>(m.port_failures));
+  num("retx_flits", static_cast<double>(m.activity.noc_retx_flits));
   num("energy_dynamic_nj", m.energy.dynamic_nj());
   num("energy_static_nj", m.energy.static_nj);
   num("energy_total_nj", m.energy.total_nj());

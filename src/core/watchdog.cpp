@@ -1,0 +1,69 @@
+#include "core/watchdog.hpp"
+
+#include <sstream>
+
+namespace arinoc {
+
+const char* watchdog_trip_name(WatchdogTripKind kind) {
+  switch (kind) {
+    case WatchdogTripKind::kNone:
+      return "none";
+    case WatchdogTripKind::kDeadlock:
+      return "deadlock";
+    case WatchdogTripKind::kLivelock:
+      return "livelock";
+    case WatchdogTripKind::kInvariant:
+      return "invariant-violation";
+  }
+  return "?";
+}
+
+WatchdogTripKind Watchdog::poll(Cycle now,
+                                const std::function<Observation()>& observe,
+                                const std::function<std::string()>& audit) {
+  if (!p_.enabled) return WatchdogTripKind::kNone;
+  if (now - last_check_ < p_.check_interval) return WatchdogTripKind::kNone;
+  last_check_ = now;
+
+  const Observation obs = observe();
+
+  // Any change in the activity counter is progress. Compared by inequality,
+  // not '>', so stats resets (which zero the underlying counters) never
+  // masquerade as a stall.
+  if (!seen_movement_ || obs.movement != last_movement_) {
+    last_movement_ = obs.movement;
+    last_progress_ = now;
+    seen_movement_ = true;
+  }
+
+  if (obs.live_packets > 0 && now - last_progress_ >= p_.deadlock_window) {
+    std::ostringstream os;
+    os << "no flit movement for " << (now - last_progress_) << " cycles (window "
+       << p_.deadlock_window << ") with " << obs.live_packets
+       << " packet(s) in flight";
+    detail_ = os.str();
+    return WatchdogTripKind::kDeadlock;
+  }
+
+  if (obs.has_oldest && now >= obs.oldest_created &&
+      now - obs.oldest_created >= p_.livelock_age) {
+    std::ostringstream os;
+    os << "oldest live packet is " << (now - obs.oldest_created)
+       << " cycles old (ceiling " << p_.livelock_age << ")";
+    detail_ = os.str();
+    return WatchdogTripKind::kLivelock;
+  }
+
+  if (p_.audit_interval > 0 && now - last_audit_ >= p_.audit_interval) {
+    last_audit_ = now;
+    const std::string err = audit();
+    if (!err.empty()) {
+      detail_ = err;
+      return WatchdogTripKind::kInvariant;
+    }
+  }
+
+  return WatchdogTripKind::kNone;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,95 @@
+// Deadlock/livelock watchdog (robustness layer).
+//
+// GpgpuSim polls the watchdog every cycle with a cheap closure-based probe
+// (the watchdog subsamples internally). It detects three failure modes:
+//
+//  * global deadlock — no flit moved anywhere for `deadlock_window` cycles
+//    while packets are still in flight;
+//  * livelock — some packet (or unacked retransmission entry) has been
+//    alive longer than `livelock_age` cycles;
+//  * invariant violation — an optional periodic audit (credit conservation)
+//    returned a non-empty diagnosis.
+//
+// On a trip the caller raises WatchdogTrip, which carries a structured
+// diagnostic dump and maps each failure mode to a distinct process exit
+// status, so a wedged simulation terminates with a diagnosis instead of
+// spinning forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+enum class WatchdogTripKind : int {
+  kNone = 0,
+  kDeadlock,
+  kLivelock,
+  kInvariant,
+};
+
+const char* watchdog_trip_name(WatchdogTripKind kind);
+
+/// Thrown by GpgpuSim::step when the watchdog trips. exit_status() gives the
+/// documented process exit code (3 = deadlock, 4 = livelock, 5 = invariant).
+class WatchdogTrip : public std::runtime_error {
+ public:
+  WatchdogTrip(WatchdogTripKind kind, const std::string& summary,
+               std::string dump)
+      : std::runtime_error(summary), kind_(kind), dump_(std::move(dump)) {}
+
+  WatchdogTripKind kind() const { return kind_; }
+  const std::string& dump() const { return dump_; }
+  int exit_status() const { return 2 + static_cast<int>(kind_); }
+
+ private:
+  WatchdogTripKind kind_;
+  std::string dump_;
+};
+
+struct WatchdogParams {
+  bool enabled = true;
+  Cycle deadlock_window = 5000;  ///< K: no-movement cycles before tripping.
+  Cycle livelock_age = 50000;    ///< Per-packet age ceiling.
+  Cycle audit_interval = 0;      ///< Credit-invariant audit period; 0 = off.
+  Cycle check_interval = 64;     ///< Poll subsampling (cheapness).
+};
+
+class Watchdog {
+ public:
+  /// Snapshot of system liveness, produced by the caller's probe closure.
+  struct Observation {
+    std::uint64_t movement = 0;  ///< Monotone-ish activity counter; any
+                                 ///< change counts as progress.
+    std::size_t live_packets = 0;
+    Cycle oldest_created = 0;  ///< Creation cycle of the oldest live packet.
+    bool has_oldest = false;
+  };
+
+  explicit Watchdog(const WatchdogParams& params) : p_(params) {}
+
+  /// Checks liveness; calls `observe` (and `audit`, when due) only on
+  /// subsampled cycles. Returns the trip kind, kNone when healthy. After a
+  /// non-kNone return, detail() describes the trigger.
+  WatchdogTripKind poll(Cycle now,
+                        const std::function<Observation()>& observe,
+                        const std::function<std::string()>& audit);
+
+  const std::string& detail() const { return detail_; }
+  const WatchdogParams& params() const { return p_; }
+
+ private:
+  WatchdogParams p_;
+  Cycle last_check_ = 0;
+  Cycle last_audit_ = 0;
+  Cycle last_progress_ = 0;
+  std::uint64_t last_movement_ = 0;
+  bool seen_movement_ = false;
+  std::string detail_;
+};
+
+}  // namespace arinoc

@@ -11,6 +11,9 @@ struct Flit {
   PacketId pkt = kInvalidPacket;
   bool head = false;
   bool tail = false;
+  /// Set by the fault injector when the flit crosses a corrupting link;
+  /// stands in for a failed CRC check at the ejection NI.
+  bool corrupted = false;
   std::uint16_t seq = 0;  ///< Position within the packet (0 = head).
 
   bool valid() const { return pkt != kInvalidPacket; }

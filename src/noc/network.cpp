@@ -38,6 +38,20 @@ Network::Network(const NetworkParams& params, const Mesh* mesh)
   const std::size_t slots = std::max<std::uint32_t>(1, params.link_latency);
   flit_ring_.resize(slots);
   credit_ring_.resize(slots);
+
+  if (params.fault.any_enabled()) {
+    fault_ = std::make_unique<FaultInjector>(params.fault, mesh);
+    if (params.fault.recovery) {
+      rtx_ = std::make_unique<RetransmitTracker>(
+          params.fault, this, mesh,
+          std::max<std::uint32_t>(1, params.link_latency));
+    }
+    if (params.fault.credit_loss_on()) {
+      credits_lost_.assign(static_cast<std::size_t>(mesh->nodes()) *
+                               kNumDirections * params.num_vcs,
+                           0);
+    }
+  }
 }
 
 std::uint16_t Network::flits_for(PacketType type) const {
@@ -61,6 +75,16 @@ void Network::finish_packet(PacketId id, Cycle now) {
 }
 
 void Network::step(Cycle now) {
+  // 0) Draw this cycle's fault events and push blocked-link transitions into
+  // the affected upstream routers (fault-aware routing sees them during VA).
+  if (fault_) {
+    fault_->begin_cycle(now);
+    for (const auto& [src, dir] : fault_->changed_links()) {
+      routers_[static_cast<std::size_t>(src)]->set_output_blocked(
+          dir, fault_->link_blocked(src, dir));
+    }
+  }
+
   // 1) Deliver flits and credits that finished traversing their links.
   auto& due_flits = flit_ring_[ring_pos_];
   for (const FlitEvent& e : due_flits) {
@@ -86,18 +110,39 @@ void Network::step(Cycle now) {
     for (const OutboundFlit& of : scratch_flits_) {
       const NodeId dst = mesh_->neighbor(n, of.out_dir);
       assert(dst != kInvalidNode);
-      flit_ring_[send_slot].push_back(
-          {dst, opposite(of.out_dir), of.out_vc, of.flit});
+      FlitEvent ev{dst, opposite(of.out_dir), of.out_vc, of.flit};
+      if (fault_ && fault_->corrupt_link(n, of.out_dir)) {
+        ev.flit.corrupted = true;
+        ++stats_.flits_corrupted;
+      }
+      flit_ring_[send_slot].push_back(ev);
     }
     for (const OutboundCredit& oc : scratch_credits_) {
       const NodeId up = mesh_->neighbor(n, oc.in_dir);
       assert(up != kInvalidNode);
-      credit_ring_[send_slot].push_back({up, opposite(oc.in_dir), oc.vc});
+      const int up_dir = opposite(oc.in_dir);
+      if (fault_ && fault_->take_credit_drop(up, up_dir)) {
+        // The credit vanishes in flight: the upstream (up, up_dir, vc)
+        // counter permanently shrinks. Recorded so the invariant audit can
+        // tell intentional loss from a protocol bug.
+        if (!credits_lost_.empty()) {
+          ++credits_lost_[(static_cast<std::size_t>(up) * kNumDirections +
+                           static_cast<std::size_t>(up_dir)) *
+                              params_.num_vcs +
+                          static_cast<std::size_t>(oc.vc)];
+        }
+        continue;
+      }
+      credit_ring_[send_slot].push_back({up, up_dir, oc.vc});
     }
   }
 
   // 3) Advance the link pipeline.
   ring_pos_ = (ring_pos_ + 1) % flit_ring_.size();
+
+  // 4) Recovery bookkeeping: retire acked retransmission entries and fire
+  // NACK/timeout-driven re-injections.
+  if (rtx_) rtx_->step(now);
 }
 
 double Network::internal_link_utilization(Cycle elapsed) const {
@@ -123,9 +168,49 @@ double Network::injection_link_utilization(
          (static_cast<double>(elapsed) * nodes.size());
 }
 
+RxOutcome Network::classify_rx(PacketId id, bool corrupted, Cycle now) {
+  if (rtx_) return rtx_->classify_rx(id, corrupted, now);
+  return corrupted ? RxOutcome::kCorrupt : RxOutcome::kDeliver;
+}
+
+void Network::drop_packet(PacketId id, Cycle now, RxOutcome why) {
+  (void)now;
+  switch (why) {
+    case RxOutcome::kCorrupt:
+      ++stats_.packets_corrupted;
+      // Without a tracker nobody will retransmit: the packet is gone.
+      if (!rtx_) ++stats_.packets_lost;
+      break;
+    case RxOutcome::kDuplicate:
+    case RxOutcome::kStale:
+      ++stats_.duplicates_dropped;
+      break;
+    case RxOutcome::kDeliver:
+      assert(false && "drop_packet called with kDeliver");
+      break;
+  }
+  arena_.retire(id);
+}
+
+std::uint64_t Network::credits_lost_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : credits_lost_) total += c;
+  return total;
+}
+
+std::uint64_t Network::movement_count() const {
+  std::uint64_t moves = 0;
+  for (const auto& r : routers_) {
+    moves += r->flits_injected() + r->flits_ejected() + r->crossbar_traversals();
+  }
+  return moves;
+}
+
 void Network::reset_stats() {
   stats_.reset();
   for (auto& r : routers_) r->reset_stats();
+  if (fault_) fault_->reset_counters();
+  if (rtx_) rtx_->reset_counters();
 }
 
 std::string Network::validate_credit_invariants() const {
@@ -155,11 +240,20 @@ std::string Network::validate_credit_invariants() const {
             }
           }
         }
+        // Credits the fault injector destroyed on this link are accounted
+        // loss, not a protocol bug: the usable depth shrank by that much.
+        std::uint32_t lost = 0;
+        if (!credits_lost_.empty()) {
+          lost = credits_lost_[(static_cast<std::size_t>(u) * kNumDirections +
+                                static_cast<std::size_t>(dir)) *
+                                   params_.num_vcs +
+                               static_cast<std::size_t>(vc)];
+        }
         const std::uint32_t total =
             up.output_credits(dir, static_cast<int>(vc)) +
             static_cast<std::uint32_t>(
                 down.input_buffered(in_dir, static_cast<int>(vc))) +
-            inflight_flits + inflight_credits;
+            inflight_flits + inflight_credits + lost;
         if (total != params_.vc_depth_flits) {
           std::ostringstream os;
           os << "credit invariant violated on link " << u << "->" << v
@@ -167,8 +261,8 @@ std::string Network::validate_credit_invariants() const {
              << up.output_credits(dir, static_cast<int>(vc)) << " credits + "
              << down.input_buffered(in_dir, static_cast<int>(vc))
              << " buffered + " << inflight_flits << " flits in flight + "
-             << inflight_credits << " credits in flight = " << total
-             << " != depth " << params_.vc_depth_flits;
+             << inflight_credits << " credits in flight + " << lost
+             << " lost = " << total << " != depth " << params_.vc_depth_flits;
           return os.str();
         }
       }

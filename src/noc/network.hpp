@@ -9,6 +9,7 @@
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "noc/fault.hpp"
 #include "noc/noc_stats.hpp"
 #include "noc/packet.hpp"
 #include "noc/router.hpp"
@@ -38,6 +39,9 @@ struct NetworkParams {
   /// treat_ccs_specially exists for the request-side negative control.
   bool treat_mcs_specially = false;
   bool treat_ccs_specially = false;
+  /// Fault campaign + recovery knobs. All rates zero (the default) means no
+  /// injector or tracker is even constructed — a strict no-op.
+  FaultParams fault;
 };
 
 class Network {
@@ -54,6 +58,7 @@ class Network {
   }
 
   PacketArena& arena() { return arena_; }
+  const PacketArena& arena() const { return arena_; }
   const Mesh& mesh() const { return *mesh_; }
   const NetworkParams& params() const { return params_; }
 
@@ -76,6 +81,29 @@ class Network {
 
   NocStats& stats() { return stats_; }
   const NocStats& stats() const { return stats_; }
+
+  // ---- Fault-injection / recovery (null when no fault class enabled) ----
+  FaultInjector* fault() { return fault_.get(); }
+  const FaultInjector* fault() const { return fault_.get(); }
+  RetransmitTracker* retransmit() { return rtx_.get(); }
+  const RetransmitTracker* retransmit() const { return rtx_.get(); }
+
+  /// CRC / dedup verdict for a fully reassembled packet (delegates to the
+  /// retransmission tracker; without one, corruption means the packet is
+  /// simply lost).
+  RxOutcome classify_rx(PacketId id, bool corrupted, Cycle now);
+  /// Retires a packet that will NOT be delivered to the sink (corrupt,
+  /// duplicate, or stale), keeping the drop statistics.
+  void drop_packet(PacketId id, Cycle now, RxOutcome why);
+
+  /// Total credits intentionally destroyed by the fault injector on each
+  /// link; validate_credit_invariants accounts for them.
+  std::uint64_t credits_lost_total() const;
+
+  /// Monotone activity counter (flits injected + ejected + crossbar
+  /// traversals over all routers); the watchdog detects deadlock by
+  /// watching this stop changing.
+  std::uint64_t movement_count() const;
 
   // ---- Link-utilization probes (paper §3) ----
   /// Mean flits/cycle over all connected router-to-router links.
@@ -120,6 +148,11 @@ class Network {
   // Scratch buffers reused across cycles.
   std::vector<OutboundFlit> scratch_flits_;
   std::vector<OutboundCredit> scratch_credits_;
+  // Fault subsystem (null unless some fault class is enabled).
+  std::unique_ptr<FaultInjector> fault_;
+  std::unique_ptr<RetransmitTracker> rtx_;
+  // Credits destroyed per (node, dir, vc); sized only under credit loss.
+  std::vector<std::uint32_t> credits_lost_;
 };
 
 }  // namespace arinoc

@@ -20,6 +20,11 @@ int pick_injection_vc(Router& r, std::uint32_t ip, std::uint32_t flits) {
 
 InjectNi::InjectNi(Network* net, NodeId node) : net_(net), node_(node) {}
 
+void InjectNi::finish_accept(PacketId id, Cycle now) {
+  net_->arena().at(id).created = now;
+  if (RetransmitTracker* rtx = net_->retransmit()) rtx->on_accept(id, now);
+}
+
 // ---------------------------------------------------------------- Baseline
 BaselineInjectNi::BaselineInjectNi(Network* net, NodeId node,
                                    std::uint32_t queue_flits)
@@ -31,7 +36,7 @@ bool BaselineInjectNi::try_accept(PacketId id, Cycle now) {
   if (!queue_.fits(pkt.num_flits)) return false;
   incoming_ = id;
   incoming_remaining_ = pkt.num_flits;  // One cycle per flit over the link.
-  net_->arena().at(id).created = now;
+  finish_accept(id, now);
   return true;
 }
 
@@ -86,7 +91,7 @@ bool EnhancedInjectNi::try_accept(PacketId id, Cycle now) {
     queue_.push(PacketArena::flit_of(id, s, pkt.num_flits));
   }
   ++queued_packets_;
-  net_->arena().at(id).created = now;
+  finish_accept(id, now);
   return true;
 }
 
@@ -142,7 +147,7 @@ bool SplitQueueInjectNi::try_accept(PacketId id, Cycle now) {
     }
     ++q.packets;
     accept_rr_ = (qi + 1) % queues_.size();
-    net_->arena().at(id).created = now;
+    finish_accept(id, now);
     return true;
   }
   return false;
@@ -195,7 +200,7 @@ bool MultiPortInjectNi::try_accept(PacketId id, Cycle now) {
     queue_.push(PacketArena::flit_of(id, s, pkt.num_flits));
   }
   ++queued_packets_;
-  net_->arena().at(id).created = now;
+  finish_accept(id, now);
   return true;
 }
 
@@ -270,11 +275,20 @@ void EjectNi::cycle(Cycle now) {
     if (!r.has_ejected_flit()) return;
     const Flit f = r.pop_ejected_flit();
     const Packet& pkt = net_->arena().at(f.pkt);
-    const std::uint16_t have = ++partial_[f.pkt];
-    if (have == pkt.num_flits) {
+    Partial& part = partial_[f.pkt];
+    ++part.have;
+    if (f.corrupted) part.corrupted = true;
+    if (part.have == pkt.num_flits) {
+      const bool corrupted = part.corrupted;
       partial_.erase(f.pkt);
-      sink_->deliver(pkt, now);
-      net_->finish_packet(f.pkt, now);
+      // CRC check + duplicate suppression happen here, at reassembly.
+      const RxOutcome outcome = net_->classify_rx(f.pkt, corrupted, now);
+      if (outcome == RxOutcome::kDeliver) {
+        sink_->deliver(pkt, now);
+        net_->finish_packet(f.pkt, now);
+      } else {
+        net_->drop_packet(f.pkt, now, outcome);
+      }
     }
   }
 }

@@ -83,6 +83,10 @@ class InjectNi {
 
  protected:
   Router& router() { return net_->router(node_); }
+  /// Accept bookkeeping shared by every NI flavour: stamps pkt.created and
+  /// registers the packet with the retransmission tracker when the network
+  /// has one. Call from try_accept exactly when returning true.
+  void finish_accept(PacketId id, Cycle now);
   Network* net_;
   NodeId node_;
 
@@ -182,11 +186,18 @@ class EjectNi {
   std::size_t pending_packets() const { return partial_.size(); }
 
  private:
+  /// Reassembly state: flit count plus the sticky CRC verdict (any corrupted
+  /// flit taints the whole packet).
+  struct Partial {
+    std::uint16_t have = 0;
+    bool corrupted = false;
+  };
+
   Network* net_;
   NodeId node_;
   PacketSink* sink_;
   std::uint32_t drain_rate_;
-  std::unordered_map<PacketId, std::uint16_t> partial_;
+  std::unordered_map<PacketId, Partial> partial_;
 };
 
 }  // namespace arinoc

@@ -20,6 +20,10 @@ void NocStats::reset() {
   flits_delivered = {};
   packets_delivered = {};
   packets_injected = 0;
+  flits_corrupted = 0;
+  packets_corrupted = 0;
+  duplicates_dropped = 0;
+  packets_lost = 0;
 }
 
 double NocStats::mean_latency_all() const {

@@ -23,6 +23,12 @@ struct NocStats {
   std::array<std::uint64_t, 4> packets_delivered{};
   std::uint64_t packets_injected = 0;
 
+  // ---- Fault / recovery counters (all stay 0 with faults disabled) ----
+  std::uint64_t flits_corrupted = 0;    ///< Flits hit by link corruption.
+  std::uint64_t packets_corrupted = 0;  ///< Packets failing CRC at ejection.
+  std::uint64_t duplicates_dropped = 0; ///< Duplicate/stale arrivals eaten.
+  std::uint64_t packets_lost = 0;       ///< Corrupt with recovery disabled.
+
   void record_delivery(const Packet& pkt, Cycle now);
   void reset();
 

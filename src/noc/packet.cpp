@@ -24,7 +24,9 @@ PacketId PacketArena::create(PacketType type, NodeId src, NodeId dest,
   } else {
     id = static_cast<PacketId>(slots_.size());
     slots_.emplace_back();
+    live_.push_back(false);
   }
+  live_[id] = true;
   Packet& p = slots_[id];
   p = Packet{};
   p.type = type;
@@ -39,7 +41,22 @@ PacketId PacketArena::create(PacketType type, NodeId src, NodeId dest,
 
 void PacketArena::retire(PacketId id) {
   assert(id < slots_.size());
+  assert(live_[id]);
+  live_[id] = false;
   free_.push_back(id);
+}
+
+Cycle PacketArena::oldest_created(Cycle fallback) const {
+  Cycle oldest = fallback;
+  bool found = false;
+  for (PacketId id = 0; id < live_.size(); ++id) {
+    if (!live_[id]) continue;
+    if (!found || slots_[id].created < oldest) {
+      oldest = slots_[id].created;
+      found = true;
+    }
+  }
+  return oldest;
 }
 
 Flit PacketArena::flit_of(PacketId id, std::uint16_t seq,

@@ -44,6 +44,10 @@ struct Packet {
   Cycle created = 0;   ///< Enqueued at the source NI (latency starts here).
   Cycle injected = 0;  ///< First flit entered the router injection port.
   Cycle ejected = 0;   ///< Tail flit delivered at the destination NI.
+
+  /// Retransmission-buffer key (RetransmitTracker); 0 = untracked. Keys are
+  /// monotone and never recycled, so stale incarnations cannot collide.
+  std::uint64_t rtx = 0;
 };
 
 class PacketArena {
@@ -63,12 +67,22 @@ class PacketArena {
   std::size_t live() const { return slots_.size() - free_.size(); }
   std::size_t capacity() const { return slots_.size(); }
 
+  /// True if `id` refers to a live (created, not retired) packet.
+  bool is_live(PacketId id) const {
+    return id < live_.size() && live_[id];
+  }
+
+  /// Creation cycle of the oldest live packet, or `fallback` when none are
+  /// live (watchdog livelock probe; O(capacity) scan, called rarely).
+  Cycle oldest_created(Cycle fallback) const;
+
   /// Builds the flit sequence of a packet (head .. tail).
   static Flit flit_of(PacketId id, std::uint16_t seq, std::uint16_t num_flits);
 
  private:
   std::vector<Packet> slots_;
   std::vector<PacketId> free_;
+  std::vector<bool> live_;
 };
 
 }  // namespace arinoc

@@ -18,6 +18,7 @@ Router::Router(const RouterParams& params, const Mesh* mesh,
       input_vcs_(num_inputs() * params.num_vcs),
       output_vcs_(kNumOutputs * params.num_vcs),
       output_connected_(kNumDirections, false),
+      output_blocked_(kNumDirections, false),
       input_connected_(kNumDirections, false),
       ejection_buf_(params.ejection_capacity_flits),
       input_rr_(num_inputs(), 0),
@@ -114,6 +115,7 @@ bool Router::output_vc_admits(int out_port, int vc,
     return ejection_buf_.free_space() >= need;
   }
   if (!output_connected_[static_cast<std::size_t>(out_port)]) return false;
+  if (output_blocked_[static_cast<std::size_t>(out_port)]) return false;
   if (params_.non_atomic_vc) {
     // Whole-packet forwarding: admit a new packet whenever the full packet
     // fits in the downstream free space, even if the VC is still draining.
@@ -126,6 +128,7 @@ bool Router::output_vc_admits(int out_port, int vc,
 
 bool Router::output_ready_for_flit(int out_port, int out_vc) const {
   if (out_port == kEjectPort) return !ejection_buf_.full();
+  if (output_blocked_[static_cast<std::size_t>(out_port)]) return false;
   return output_vcs_[static_cast<std::size_t>(out_port) * params_.num_vcs +
                      static_cast<std::size_t>(out_vc)]
              .credits >= 1;

@@ -103,6 +103,16 @@ class Router {
   bool output_is_connected(int dir) const {
     return output_connected_[static_cast<std::size_t>(dir)];
   }
+  /// Fault-aware routing hook: while a direction output is blocked (the link
+  /// is stalled or permanently failed), VC allocation refuses it and switch
+  /// traversal holds its flits, so adaptive routing steers around the fault
+  /// and nothing in flight is lost.
+  void set_output_blocked(int dir, bool blocked) {
+    output_blocked_[static_cast<std::size_t>(dir)] = blocked;
+  }
+  bool output_is_blocked(int dir) const {
+    return output_blocked_[static_cast<std::size_t>(dir)];
+  }
   std::uint32_t vc_depth_flits() const { return params_.vc_depth_flits; }
 
   // ---- Stats ----
@@ -175,6 +185,7 @@ class Router {
   std::vector<InputVC> input_vcs_;    // [input_port][vc]
   std::vector<OutputVC> output_vcs_;  // [output_port][vc]; port 4 = ejection
   std::vector<bool> output_connected_;  // direction outputs only
+  std::vector<bool> output_blocked_;    // fault injector (stall/port-fail)
   std::vector<bool> input_connected_;
   FlitBuffer ejection_buf_;
 

@@ -131,6 +131,12 @@ TEST(Integration, LiveTxnsBoundedByStructuralCapacity) {
   for (int k = 0; k < 8; ++k) {
     sim.run(500);
     EXPECT_LE(sim.live_txns(), bound) << "after " << sim.now() << " cycles";
+    // Credit-conservation audit: every link's credits + buffered flits +
+    // in-flight events must sum to the VC depth at all times.
+    EXPECT_EQ(sim.request_net().validate_credit_invariants(), "")
+        << "after " << sim.now() << " cycles";
+    EXPECT_EQ(sim.reply_net().validate_credit_invariants(), "")
+        << "after " << sim.now() << " cycles";
   }
 }
 
