@@ -3,45 +3,53 @@
 // gains should saturate at the recommended S.
 #include "bench_util.hpp"
 #include "core/scheme.hpp"
+#include "exec/runner.hpp"
 #include "workloads/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace arinoc;
+  const exec::ExecOptions opts = exec::require_exec_flags(argc, argv);
   bench::banner("Ablation — injection speedup sweep (S = 1..4)",
                 "Eq.(1)/(2): gains saturate near S = min(N_out, N_vc) = 4");
   const Config base = make_base_config();
   const std::vector<std::string> benches = {"bfs", "kmeans", "mummergpu",
                                             "hotspot"};
 
+  // One grid: the Ada-Baseline reference row plus Ada-ARI at S = 1..4,
+  // all dispatched together on the exec pool.
+  std::vector<exec::CellSpec> cells;
+  for (const auto& b : benches) {
+    cells.push_back({"ref", Scheme::kAdaBaseline, b, nullptr, false});
+  }
+  for (std::uint32_t s = 1; s <= 4; ++s) {
+    for (const auto& b : benches) {
+      cells.push_back({"S=" + std::to_string(s), Scheme::kAdaARI, b,
+                       [s](Config& c) { c.injection_speedup = s; }, false});
+    }
+  }
+  exec::ExperimentRunner runner(base, opts);
+  const auto results = runner.run(cells);
+
   std::vector<std::string> headers = {"S"};
   for (const auto& b : benches) headers.push_back(b);
   TextTable t(headers);
-
-  std::map<std::string, double> ref;
-  for (const auto& b : benches) {
-    ref[b] = run_scheme(base, Scheme::kAdaBaseline, b).ipc;
-  }
   for (std::uint32_t s = 1; s <= 4; ++s) {
     std::vector<std::string> row = {std::to_string(s)};
-    for (const auto& b : benches) {
-      const Metrics m = run_scheme(base, Scheme::kAdaARI, b,
-                                   [&](Config& c) {
-                                     c.injection_speedup = s;
-                                   });
-      row.push_back(fmt(m.ipc / ref[b], 3));
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+      const double ref = results[b].metrics.ipc;
+      const double ipc = results[s * benches.size() + b].metrics.ipc;
+      row.push_back(fmt(ref > 0.0 ? ipc / ref : 0.0, 3));
     }
     t.add_row(row);
   }
   std::printf("IPC normalized to Ada-Baseline\n%s\n", t.to_string().c_str());
 
   // The guideline itself, evaluated for the Table-I reply mix.
-  const double long_flits = 5.0;
   const double mean_flits = mean_reply_flits(0.9, 5);
   std::printf("guideline: mean reply flits = %.2f; for InjRate 0.8 pkt/cyc "
               "Eq.(1) wants S >= %u; Eq.(2) caps at %u; recommended %u\n",
               mean_flits, min_speedup_eq1(0.8, mean_flits),
               max_speedup_eq2(4, 4),
               recommended_speedup(0.8, mean_flits, 4, 4));
-  (void)long_flits;
   return 0;
 }

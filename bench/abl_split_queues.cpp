@@ -1,6 +1,8 @@
 // Ablation (beyond the paper's figures): number of split NI queues under a
 // fixed total buffer budget (§4.1 says ⌈W/N⌉ queues suffice; fewer may do
 // when the MC does not produce data every cycle).
+#include <map>
+
 #include "bench_util.hpp"
 #include "workloads/suite.hpp"
 

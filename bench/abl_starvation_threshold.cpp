@@ -1,6 +1,8 @@
 // Ablation: starvation threshold sensitivity (§5).
 // Paper: "starvation of this kind is rare, and the overall performance is
 // very insensitive to the threshold value" (1k cycles used).
+#include <map>
+
 #include "bench_util.hpp"
 #include "workloads/suite.hpp"
 

@@ -1,19 +1,46 @@
 #include "bench_util.hpp"
 
+#include "exec/runner.hpp"
+
 namespace arinoc::bench {
+
+std::vector<Metrics> run_grid(const Config& base,
+                              const std::vector<Scheme>& schemes,
+                              const std::vector<std::string>& benchmarks,
+                              const exec::ExecOptions& opts) {
+  std::vector<exec::CellSpec> cells;
+  cells.reserve(schemes.size() * benchmarks.size());
+  for (const Scheme s : schemes) {
+    for (const auto& b : benchmarks) {
+      cells.push_back({"grid", s, b, nullptr, false});
+    }
+  }
+  exec::ExperimentRunner runner(base, opts);
+  const auto ran = runner.run(cells);
+
+  std::vector<Metrics> out;
+  out.reserve(ran.size());
+  for (const auto& r : ran) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "!! %s/%s failed (%s): %s\n", r.scheme.c_str(),
+                   r.benchmark.c_str(), r.error_kind.c_str(),
+                   r.error.c_str());
+    }
+    out.push_back(r.metrics);
+  }
+  return out;
+}
 
 std::vector<double> run_and_print_normalized(
     const Config& base, const std::vector<Scheme>& schemes,
     const std::vector<std::string>& benchmarks, MetricFn fn,
-    const char* metric_name, bool higher_is_better) {
-  // Run everything first.
-  std::map<int, std::vector<double>> values;  // scheme index -> per-bench.
-  for (std::size_t s = 0; s < schemes.size(); ++s) {
-    for (const auto& b : benchmarks) {
-      const Metrics m = run_scheme(base, schemes[s], b);
-      values[static_cast<int>(s)].push_back(fn(m));
-    }
-  }
+    const char* metric_name, bool higher_is_better,
+    const exec::ExecOptions& opts) {
+  // Run the whole grid up front (parallel, cache-aware), then render.
+  const std::vector<Metrics> grid = run_grid(base, schemes, benchmarks, opts);
+  auto value_of = [&](std::size_t s, std::size_t b) {
+    return fn(grid[s * benchmarks.size() + b]);
+  };
 
   std::vector<std::string> headers = {"benchmark"};
   for (Scheme s : schemes) headers.push_back(scheme_name(s));
@@ -22,12 +49,10 @@ std::vector<double> run_and_print_normalized(
   std::vector<std::vector<double>> ratios(schemes.size());
   for (std::size_t b = 0; b < benchmarks.size(); ++b) {
     std::vector<std::string> row = {benchmarks[b]};
-    const double baseline = values[0][b];
+    const double baseline = value_of(0, b);
     for (std::size_t s = 0; s < schemes.size(); ++s) {
-      const double r = baseline != 0.0 ? values[static_cast<int>(s)][b] /
-                                             baseline
-                                       : 0.0;
-      ratios[s].push_back(r > 0.0 ? r : 1e-6);
+      const double r = baseline != 0.0 ? value_of(s, b) / baseline : 0.0;
+      ratios[s].push_back(r);
       row.push_back(fmt(r, 3));
     }
     table.add_row(row);
@@ -35,7 +60,7 @@ std::vector<double> run_and_print_normalized(
   std::vector<std::string> geo_row = {"GEOMEAN"};
   std::vector<double> geos;
   for (std::size_t s = 0; s < schemes.size(); ++s) {
-    const double g = geomean(ratios[s]);
+    const double g = geomean_guarded(ratios[s]);  // Guards zeroed cells.
     geos.push_back(g);
     geo_row.push_back(fmt(g, 3));
   }

@@ -1,14 +1,19 @@
 // Shared helpers for the figure-reproduction bench binaries.
+//
+// Thread-safety: every helper here is reentrant — all state is local, the
+// grid execution goes through exec::ExperimentRunner (which owns its pool),
+// and stdio calls are the C library's locked ones. Calling these from exec
+// pool workers is safe.
 #pragma once
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "exec/options.hpp"
 
 namespace arinoc::bench {
 
@@ -29,12 +34,24 @@ inline double mc_stall_of(const Metrics& m) {
   return static_cast<double>(m.mc_stall_cycles);
 }
 
-/// Runs `schemes` x `benchmarks` and prints a table of `fn` normalized to
-/// the first scheme, with a geomean row. Returns the per-scheme geomeans
-/// (same order as `schemes`).
+/// Runs `schemes` x `benchmarks` (in parallel on the exec pool, optionally
+/// cached) and prints a table of `fn` normalized to the first scheme, with
+/// a geomean row. Returns the per-scheme geomeans (same order as
+/// `schemes`). A cell that fails is reported on stderr and contributes a
+/// guarded (floor-clamped) ratio instead of aborting the bench.
 std::vector<double> run_and_print_normalized(
     const Config& base, const std::vector<Scheme>& schemes,
     const std::vector<std::string>& benchmarks, MetricFn fn,
-    const char* metric_name, bool higher_is_better = true);
+    const char* metric_name, bool higher_is_better = true,
+    const exec::ExecOptions& opts = exec::options_from_env(true));
+
+/// Runs a (scheme x benchmark) grid on the exec pool and returns the
+/// metrics in grid order (scheme-major). Failed cells are reported on
+/// stderr and come back zeroed.
+std::vector<Metrics> run_grid(const Config& base,
+                              const std::vector<Scheme>& schemes,
+                              const std::vector<std::string>& benchmarks,
+                              const exec::ExecOptions& opts =
+                                  exec::options_from_env(true));
 
 }  // namespace arinoc::bench

@@ -2,6 +2,8 @@
 // Paper: two levels capture most of the benefit; more levels do not help
 // (far from the injection point, differentiating in-network packets is
 // useless).
+#include <map>
+
 #include "bench_util.hpp"
 #include "workloads/suite.hpp"
 

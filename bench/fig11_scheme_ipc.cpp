@@ -5,8 +5,9 @@
 #include "bench_util.hpp"
 #include "workloads/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace arinoc;
+  const exec::ExecOptions opts = exec::require_exec_flags(argc, argv);
   bench::banner("Figure 11 — IPC by scheme (normalized to XY-Baseline)",
                 "XY-ARI ~1.08x; Ada-Baseline <= 1.0x; Ada-MultiPort ~1.02x "
                 "of Ada-Baseline; Ada-ARI ~1.154x of Ada-Baseline");
@@ -15,7 +16,7 @@ int main() {
       Scheme::kXYBaseline, Scheme::kXYARI, Scheme::kAdaBaseline,
       Scheme::kAdaMultiPort, Scheme::kAdaARI};
   const auto geos = bench::run_and_print_normalized(
-      base, schemes, all_benchmark_names(), bench::ipc_of, "IPC");
+      base, schemes, all_benchmark_names(), bench::ipc_of, "IPC", true, opts);
   std::printf("Ada-ARI vs Ada-Baseline: %.3fx (paper: ~1.154x)\n",
               geos[4] / geos[2]);
   std::printf("Ada-MultiPort vs Ada-Baseline: %.3fx (paper: ~1.02x)\n",

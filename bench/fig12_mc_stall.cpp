@@ -2,6 +2,8 @@
 // from entering the NI because the injection queues are full).
 // Paper: XY-ARI cuts MC stall time by ~47.5% vs XY-Baseline; Ada-ARI by
 // ~67.8% vs Ada-Baseline; MultiPort helps only a little.
+#include <map>
+
 #include "bench_util.hpp"
 #include "workloads/suite.hpp"
 

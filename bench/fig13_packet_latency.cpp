@@ -3,6 +3,8 @@
 // Paper: ARI reduces reply latency as designed, and request latency drops
 // too although ARI never touches the request network — confirming the
 // bottleneck was on the reply side.
+#include <map>
+
 #include "bench_util.hpp"
 #include "workloads/suite.hpp"
 

@@ -3,10 +3,12 @@
 // +15.4% (6x6), +24.7% (8x8) — NoC latency/throughput matter more in
 // bigger chips.
 #include "bench_util.hpp"
+#include "core/sweep.hpp"
 #include "workloads/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace arinoc;
+  const exec::ExecOptions opts = exec::require_exec_flags(argc, argv);
   bench::banner("Section 7.5(2) — Scalability (4x4 / 6x6 / 8x8)",
                 "ARI improvement grows with mesh size: +3.7% / +15.4% / "
                 "+24.7%");
@@ -18,22 +20,40 @@ int main() {
     mix.push_back(b);
   }
 
-  TextTable t({"mesh", "ccs", "mcs", "Ada-Baseline geo-IPC",
-               "Ada-ARI geo-IPC", "ARI gain"});
+  // One (mesh size x scheme x benchmark) grid on the exec pool.
+  std::vector<SweepPoint> sizes;
   for (std::uint32_t k : {4u, 6u, 8u}) {
     // Scale the MC count with the mesh so the CC:MC ratio (the
     // few-to-many pattern driving the bottleneck) stays ~3.5:1.
     const std::uint32_t mcs = static_cast<std::uint32_t>(k * k / 4.5 + 0.5);
-    auto sized = [&](Config& c) {
-      c.mesh_width = c.mesh_height = k;
-      c.num_mcs = mcs;
-    };
+    sizes.push_back({std::to_string(k) + "x" + std::to_string(k),
+                     [k, mcs](Config& c) {
+                       c.mesh_width = c.mesh_height = k;
+                       c.num_mcs = mcs;
+                     }});
+  }
+  const auto cells = Sweep(base)
+                         .over(sizes)
+                         .schemes({Scheme::kAdaBaseline, Scheme::kAdaARI})
+                         .benchmarks(mix)
+                         .jobs(opts.jobs)
+                         .cache(opts.cache_enabled, opts.cache_dir)
+                         .progress(opts.progress)
+                         .run();
+
+  TextTable t({"mesh", "ccs", "mcs", "Ada-Baseline geo-IPC",
+               "Ada-ARI geo-IPC", "ARI gain"});
+  const std::size_t per_scheme = mix.size();
+  std::size_t cell = 0;
+  for (std::uint32_t k : {4u, 6u, 8u}) {
+    const std::uint32_t mcs = static_cast<std::uint32_t>(k * k / 4.5 + 0.5);
     std::vector<double> b_ipc, a_ipc;
-    for (const auto& b : mix) {
-      b_ipc.push_back(run_scheme(base, Scheme::kAdaBaseline, b, sized).ipc);
-      a_ipc.push_back(run_scheme(base, Scheme::kAdaARI, b, sized).ipc);
+    for (std::size_t i = 0; i < per_scheme; ++i) {
+      b_ipc.push_back(cells[cell + i].metrics.ipc);
+      a_ipc.push_back(cells[cell + per_scheme + i].metrics.ipc);
     }
-    const double gb = geomean(b_ipc), ga = geomean(a_ipc);
+    cell += 2 * per_scheme;
+    const double gb = geomean_guarded(b_ipc), ga = geomean_guarded(a_ipc);
     t.add_row({std::to_string(k) + "x" + std::to_string(k),
                std::to_string(k * k - mcs), std::to_string(mcs), fmt(gb, 3),
                fmt(ga, 3), fmt_pct(ga / gb - 1.0)});

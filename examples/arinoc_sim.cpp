@@ -18,6 +18,15 @@
 //     --json                  machine-readable metrics on stdout
 //     --list-benchmarks       print the 30-benchmark suite and exit
 //
+//   Execution engine (synthetic benchmarks run through arinoc::exec):
+//     --jobs <n>              exec pool size (single runs need just 1)
+//     --no-cache              disable the on-disk result cache
+//     --cache-dir <dir>       result-cache directory (default:
+//                             $ARINOC_CACHE_DIR or .arinoc-cache)
+//   A cache hit replays the stored metrics byte-identically instead of
+//   re-simulating. Trace-file runs bypass the cache (the cache key covers
+//   named benchmarks, not trace file contents).
+//
 //   Fault injection (reply network; all rates default to 0 = off):
 //     --fault-corrupt <p>     per-link/cycle transient corruption prob.
 //     --fault-stall <p>       per-link/cycle stall-window probability
@@ -45,6 +54,8 @@
 #include "core/experiment.hpp"
 #include "core/watchdog.hpp"
 #include "core/report.hpp"
+#include "exec/options.hpp"
+#include "exec/runner.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/tracefile.hpp"
 
@@ -102,6 +113,11 @@ int main(int argc, char** argv) {
   Config cfg = make_base_config();
   bool da2mesh = false;
   bool json = false;
+
+  exec::ExecOptions exec_opts = exec::options_from_env(true);
+  exec_opts.jobs = 1;        // One cell; a wide pool buys nothing here.
+  exec_opts.progress = false;
+  if (!exec::parse_exec_flags(argc, argv, exec_opts)) return 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -190,43 +206,52 @@ int main(int argc, char** argv) {
     }
   }
 
-  cfg = apply_scheme(cfg, scheme);
-  const std::string err = cfg.validate();
-  if (!err.empty()) {
-    std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
-    return 2;
-  }
-
   Metrics m;
-  try {
-    if (!trace_path.empty()) {
-      Trace trace = Trace::load(trace_path);
-      TraceFileSource source(std::move(trace), cfg.num_ccs(),
-                             cfg.warps_per_core, cfg.line_bytes);
-      GpgpuSim sim(cfg, &source, da2mesh);
-      sim.run_with_warmup();
-      m = sim.collect();
-    } else {
-      const BenchmarkTraits* traits = find_benchmark(benchmark);
-      if (traits == nullptr) {
-        std::fprintf(stderr,
-                     "unknown benchmark '%s' (see --list-benchmarks)\n",
-                     benchmark.c_str());
-        return 2;
-      }
-      GpgpuSim sim(cfg, *traits, da2mesh);
-      sim.run_with_warmup();
-      m = sim.collect();
+  if (!trace_path.empty()) {
+    // Trace runs bypass the exec cache: the cache key covers named
+    // benchmarks, not trace file contents.
+    Config traced = apply_scheme(cfg, scheme);
+    const std::string err = traced.validate();
+    if (!err.empty()) {
+      std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
+      return 2;
     }
-  } catch (const WatchdogTrip& trip) {
-    std::fprintf(stderr, "%s\n%s", trip.what(), trip.dump().c_str());
-    return trip.exit_status();
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+    try {
+      Trace trace = Trace::load(trace_path);
+      TraceFileSource source(std::move(trace), traced.num_ccs(),
+                             traced.warps_per_core, traced.line_bytes);
+      GpgpuSim sim(traced, &source, da2mesh);
+      sim.run_with_warmup();
+      m = sim.collect();
+    } catch (const WatchdogTrip& trip) {
+      std::fprintf(stderr, "%s\n%s", trip.what(), trip.dump().c_str());
+      return trip.exit_status();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    if (find_benchmark(benchmark) == nullptr) {
+      std::fprintf(stderr, "unknown benchmark '%s' (see --list-benchmarks)\n",
+                   benchmark.c_str());
+      return 2;
+    }
+    // One-cell grid on the execution engine: crash isolation surfaces any
+    // watchdog trip as a structured per-cell error, and the result cache
+    // replays unchanged configurations without re-simulating.
+    exec::ExperimentRunner runner(cfg, exec_opts);
+    const auto results =
+        runner.run({{"cli", scheme, benchmark, nullptr, da2mesh}});
+    const exec::CellResult& r = results.at(0);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n%s", r.error.c_str(),
+                   r.error_detail.c_str());
+      return r.exit_status;
+    }
+    m = r.metrics;
   }
 
   if (json) {

@@ -2,16 +2,22 @@
 // crossbar speedup and emits one CSV row per (point, scheme, benchmark) —
 // pipe into your plotting tool of choice.
 //
-//   ./sweep_csv > speedup_sweep.csv
+//   ./sweep_csv [--jobs N] [--no-cache] [--cache-dir D] > speedup_sweep.csv
+//
+// The grid runs in parallel on the exec pool (deterministic: the CSV is
+// byte-identical for any --jobs value) and caches results on disk, so a
+// re-run only simulates cells whose configuration changed.
 #include <algorithm>
 #include <cstdio>
 
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
+#include "exec/options.hpp"
 
 using namespace arinoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const exec::ExecOptions opts = exec::require_exec_flags(argc, argv);
   const Config base = make_base_config();
   const std::string err = base.validate();
   if (!err.empty()) {
@@ -28,7 +34,13 @@ int main() {
                          .over(points)
                          .schemes({Scheme::kAdaARI})
                          .benchmarks({"bfs", "kmeans", "hotspot"})
+                         .jobs(opts.jobs)
+                         .cache(opts.cache_enabled, opts.cache_dir)
+                         .progress(opts.progress)
                          .run();
   std::fputs(Sweep::to_csv(cells).c_str(), stdout);
+  for (const auto& c : cells) {
+    if (!c.ok()) return 1;  // Per-cell errors are in the CSV's error column.
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "common/config.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace arinoc {
@@ -70,6 +71,88 @@ std::string Config::validate() const {
   if (watchdog_enabled && watchdog_livelock_age == 0)
     err << "watchdog_livelock_age must be >= 1 cycle (got 0); ";
   return err.str();
+}
+
+std::string Config::canonical_string() const {
+  std::ostringstream os;
+  auto u = [&os](const char* name, std::uint64_t v) {
+    os << name << '=' << v << '\n';
+  };
+  auto d = [&os](const char* name, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);  // Hexfloat: exact round trip.
+    os << name << '=' << buf << '\n';
+  };
+  u("mesh_width", mesh_width);
+  u("mesh_height", mesh_height);
+  u("num_mcs", num_mcs);
+  u("mc_placement", static_cast<std::uint64_t>(mc_placement));
+  u("link_width_bits_request", link_width_bits_request);
+  u("link_width_bits_reply", link_width_bits_reply);
+  u("data_payload_bits", data_payload_bits);
+  u("link_latency", link_latency);
+  u("router_pipeline_stages", router_pipeline_stages);
+  u("num_vcs", num_vcs);
+  u("vc_depth_pkts", vc_depth_pkts);
+  u("routing", static_cast<std::uint64_t>(routing));
+  u("non_atomic_vc", non_atomic_vc);
+  u("ni_queue_flits", ni_queue_flits);
+  u("reply_ni", static_cast<std::uint64_t>(reply_ni));
+  u("mc_ni_link", static_cast<std::uint64_t>(mc_ni_link));
+  u("split_queues", split_queues);
+  u("multiport_ports", multiport_ports);
+  u("injection_speedup", injection_speedup);
+  u("priority_levels", priority_levels);
+  u("starvation_threshold", starvation_threshold);
+  u("request_side_ari", request_side_ari);
+  u("warps_per_core", warps_per_core);
+  u("warp_size", warp_size);
+  u("simd_width", simd_width);
+  u("max_pending_loads", max_pending_loads);
+  u("l1_bypass", l1_bypass);
+  u("cross_warp_merge", cross_warp_merge);
+  u("barrier_interval", barrier_interval);
+  u("warps_per_cta", warps_per_cta);
+  u("l1_size_bytes", l1_size_bytes);
+  u("l1_assoc", l1_assoc);
+  u("l2_size_bytes", l2_size_bytes);
+  u("l2_assoc", l2_assoc);
+  u("line_bytes", line_bytes);
+  u("mshr_entries", mshr_entries);
+  u("mshr_merges", mshr_merges);
+  u("l2_latency", l2_latency);
+  u("dram_banks", dram_banks);
+  u("dram_queue_depth", dram_queue_depth);
+  u("t_rp", t_rp);
+  u("t_rc", t_rc);
+  u("t_rrd", t_rrd);
+  u("t_ras", t_ras);
+  u("t_rcd", t_rcd);
+  u("t_cl", t_cl);
+  u("burst_cycles", burst_cycles);
+  u("dram_starvation_cap", dram_starvation_cap);
+  d("mem_clock_ratio", mem_clock_ratio);
+  u("mc_request_queue", mc_request_queue);
+  u("mc_eject_flits_per_cycle", mc_eject_flits_per_cycle);
+  u("mc_reply_stage", mc_reply_stage);
+  u("warmup_cycles", warmup_cycles);
+  u("run_cycles", run_cycles);
+  u("seed", seed);
+  d("fault_corrupt_rate", fault_corrupt_rate);
+  d("fault_link_stall_rate", fault_link_stall_rate);
+  u("fault_link_stall_len", fault_link_stall_len);
+  d("fault_port_fail_rate", fault_port_fail_rate);
+  d("fault_credit_loss_rate", fault_credit_loss_rate);
+  u("fault_seed", fault_seed);
+  u("fault_enable_mask", fault_enable_mask);
+  u("fault_recovery", fault_recovery);
+  u("rtx_timeout", rtx_timeout);
+  u("rtx_max_retries", rtx_max_retries);
+  u("watchdog_enabled", watchdog_enabled);
+  u("watchdog_deadlock_window", watchdog_deadlock_window);
+  u("watchdog_livelock_age", watchdog_livelock_age);
+  u("watchdog_audit_interval", watchdog_audit_interval);
+  return os.str();
 }
 
 std::string Config::table1() const {

@@ -180,6 +180,12 @@ struct Config {
   /// Validates internal consistency; returns an error string or empty.
   std::string validate() const;
 
+  /// Canonical `field=value` serialization of every parameter, one line per
+  /// field in declaration order, doubles in hexfloat (exact). Two configs
+  /// produce the same string iff every simulation-relevant knob matches —
+  /// this is the config component of the exec result-cache key.
+  std::string canonical_string() const;
+
   /// The paper's Table I, formatted for printing.
   std::string table1() const;
 };

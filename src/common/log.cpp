@@ -1,13 +1,18 @@
 #include "common/log.hpp"
 
+#include <atomic>
+
 namespace arinoc {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic: exec pool workers read the level concurrently with the driver.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 }
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {

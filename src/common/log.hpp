@@ -9,7 +9,7 @@ namespace arinoc {
 
 enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
 
-/// Process-wide log level (single-threaded simulator; plain global is fine).
+/// Process-wide log level (atomic: exec pool workers read it concurrently).
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

@@ -11,6 +11,13 @@ double geomean(std::span<const double> xs) {
   return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
+double geomean_guarded(std::span<const double> xs, double floor) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x > floor ? x : floor);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
 double mean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
   double sum = 0.0;

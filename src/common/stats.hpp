@@ -34,6 +34,13 @@ class Accumulator {
 /// Geometric mean of strictly positive values (paper reports geomeans).
 double geomean(std::span<const double> xs);
 
+/// Geometric mean with a zero/negative guard: samples <= 0 (a benchmark
+/// that made no progress, a baseline of 0 turning a ratio degenerate) are
+/// clamped to `floor` instead of poisoning the log. This is the one shared
+/// aggregation helper for normalized bench tables — benches must not
+/// re-derive their own clamping.
+double geomean_guarded(std::span<const double> xs, double floor = 1e-6);
+
 /// Arithmetic mean; 0 for an empty span.
 double mean(std::span<const double> xs);
 

@@ -1,0 +1,10 @@
+// Library version, baked into on-disk artifacts (the exec result cache key)
+// so stale results are never replayed across simulator revisions. Bump on
+// any change that can alter simulation results or the Metrics layout.
+#pragma once
+
+namespace arinoc {
+
+inline constexpr const char kArinocVersion[] = "0.2.0-exec";
+
+}  // namespace arinoc

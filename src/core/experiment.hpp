@@ -3,8 +3,10 @@
 // collecting metrics.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/config.hpp"
@@ -27,6 +29,21 @@ struct RunResult {
   Scheme scheme;
   Metrics metrics;
 };
+
+/// Deterministic per-cell RNG seed: SplitMix64 over seed ^ FNV-1a(benchmark).
+/// Different workloads get decorrelated streams; every scheme/point
+/// comparison on the same benchmark stays seed-paired. This is the single
+/// seeding discipline for run_scheme, run_suite, Sweep, and exec — results
+/// depend only on (config, workload), never on thread count or scheduling.
+std::uint64_t derive_cell_seed(std::uint64_t seed, std::string_view benchmark);
+
+/// Resolves the full config for one simulation cell: scheme preset, then
+/// the optional tweak, then per-cell seed derivation. Throws
+/// std::invalid_argument when the result fails Config::validate().
+Config resolve_cell_config(const Config& base, Scheme scheme,
+                           const std::string& benchmark,
+                           const std::function<void(Config&)>& tweak =
+                               nullptr);
 
 /// Runs one benchmark under one scheme (with optional config tweaking after
 /// the scheme preset is applied) and returns the measured metrics.

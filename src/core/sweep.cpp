@@ -2,40 +2,70 @@
 
 #include <sstream>
 
-#include "core/experiment.hpp"
+#include "exec/runner.hpp"
 
 namespace arinoc {
 
 std::vector<SweepCell> Sweep::run() const {
-  std::vector<SweepCell> cells;
   // A sweep without an explicit axis still runs the base config once per
   // (scheme, benchmark) pair.
   const std::vector<SweepPoint> points =
       points_.empty() ? std::vector<SweepPoint>{{"base", nullptr}} : points_;
+
+  std::vector<exec::CellSpec> specs;
+  specs.reserve(points.size() * schemes_.size() * benchmarks_.size());
   for (const SweepPoint& p : points) {
     for (Scheme s : schemes_) {
       for (const std::string& b : benchmarks_) {
-        cells.push_back(
-            {p.label, scheme_name(s), b, run_scheme(base_, s, b, p.tweak)});
+        specs.push_back({p.label, s, b, p.tweak, false});
       }
     }
   }
+
+  exec::ExecOptions opts;
+  opts.jobs = jobs_;
+  opts.cache_enabled = cache_enabled_;
+  opts.cache_dir = cache_dir_;
+  opts.progress = progress_;
+  exec::ExperimentRunner runner(base_, std::move(opts));
+  const auto ran = runner.run(specs);
+
+  std::vector<SweepCell> cells;
+  cells.reserve(ran.size());
+  for (const auto& r : ran) {
+    cells.push_back({r.point, r.scheme, r.benchmark, r.metrics, r.error,
+                     r.error_kind, r.from_cache});
+  }
   return cells;
+}
+
+std::string Sweep::csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
 }
 
 std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
   std::ostringstream os;
   os << "point,scheme,benchmark,cycles,ipc,request_latency,reply_latency,"
         "mc_stall_cycles,reply_injection_util,reply_internal_util,"
-        "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj\n";
+        "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj,error\n";
   for (const SweepCell& c : cells) {
     const Metrics& m = c.metrics;
-    os << c.point << ',' << c.scheme << ',' << c.benchmark << ','
-       << m.cycles << ',' << m.ipc << ',' << m.request_latency << ','
-       << m.reply_latency << ',' << m.mc_stall_cycles << ','
-       << m.reply_injection_util << ',' << m.reply_internal_util << ','
-       << m.l1_hit_rate << ',' << m.l2_hit_rate << ','
-       << m.dram_row_hit_rate << ',' << m.energy.total_nj() << '\n';
+    const std::string error =
+        c.ok() ? std::string{} : c.error_kind + ": " + c.error;
+    os << csv_escape(c.point) << ',' << csv_escape(c.scheme) << ','
+       << csv_escape(c.benchmark) << ',' << m.cycles << ',' << m.ipc << ','
+       << m.request_latency << ',' << m.reply_latency << ','
+       << m.mc_stall_cycles << ',' << m.reply_injection_util << ','
+       << m.reply_internal_util << ',' << m.l1_hit_rate << ','
+       << m.l2_hit_rate << ',' << m.dram_row_hit_rate << ','
+       << m.energy.total_nj() << ',' << csv_escape(error) << '\n';
   }
   return os.str();
 }

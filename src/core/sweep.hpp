@@ -1,6 +1,12 @@
 // Parameter-sweep driver: runs a grid of (config variant x scheme x
 // benchmark) simulations and renders the results as CSV — the plumbing
 // behind "make the plot for figure X" scripts.
+//
+// Execution goes through the exec subsystem (src/exec): the grid is mapped
+// onto a work-stealing thread pool, results come back in grid order and are
+// byte-identical for any `jobs` count, a cell that trips the watchdog
+// records a per-cell error instead of killing the sweep, and an optional
+// on-disk cache skips cells whose (config, scheme, benchmark) already ran.
 #pragma once
 
 #include <functional>
@@ -22,7 +28,16 @@ struct SweepCell {
   std::string point;      ///< SweepPoint label.
   std::string scheme;     ///< Scheme name.
   std::string benchmark;
-  Metrics metrics;
+  Metrics metrics;        ///< Zeroed when the cell failed.
+
+  // Crash isolation: a failing cell (watchdog trip, invalid config, any
+  // exception) is recorded here; the rest of the grid still runs.
+  std::string error;       ///< Empty = success.
+  std::string error_kind;  ///< "config" | "deadlock" | "livelock" |
+                           ///< "invariant-violation" | "runtime".
+  bool from_cache = false;
+
+  bool ok() const { return error.empty(); }
 };
 
 class Sweep {
@@ -42,17 +57,46 @@ class Sweep {
     return *this;
   }
 
-  /// Runs the full grid (points x schemes x benchmarks), in order.
+  // ---- Execution knobs (see src/exec/runner.hpp) ----
+  /// Worker threads; 0 (default) = hardware concurrency, 1 = serial.
+  Sweep& jobs(unsigned n) {
+    jobs_ = n;
+    return *this;
+  }
+  /// On-disk result cache; disabled by default. An empty dir means
+  /// $ARINOC_CACHE_DIR or ".arinoc-cache".
+  Sweep& cache(bool enabled, std::string dir = "") {
+    cache_enabled_ = enabled;
+    cache_dir_ = std::move(dir);
+    return *this;
+  }
+  /// Live [done/total] + ETA reporting on stderr; off by default.
+  Sweep& progress(bool on) {
+    progress_ = on;
+    return *this;
+  }
+
+  /// Runs the full grid (points x schemes x benchmarks). Results are in
+  /// grid order regardless of jobs/scheduling.
   std::vector<SweepCell> run() const;
 
-  /// CSV with one row per cell: point,scheme,benchmark,<metric columns>.
+  /// CSV with one row per cell: point,scheme,benchmark,<metric columns>,
+  /// error. Fields are RFC-4180 quoted when they contain commas, quotes,
+  /// or newlines (sweep-point labels are free-form strings).
   static std::string to_csv(const std::vector<SweepCell>& cells);
+
+  /// RFC-4180 field quoting helper (exposed for tests and other emitters).
+  static std::string csv_escape(const std::string& field);
 
  private:
   Config base_;
   std::vector<SweepPoint> points_;
   std::vector<Scheme> schemes_;
   std::vector<std::string> benchmarks_;
+  unsigned jobs_ = 0;
+  bool cache_enabled_ = false;
+  std::string cache_dir_;
+  bool progress_ = false;
 };
 
 }  // namespace arinoc

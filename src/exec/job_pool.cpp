@@ -1,0 +1,89 @@
+#include "exec/job_pool.hpp"
+
+#include <utility>
+
+namespace arinoc::exec {
+
+unsigned JobPool::hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+JobPool::JobPool(unsigned jobs) {
+  const unsigned n = jobs == 0 ? hardware_jobs() : jobs;
+  queues_.resize(n);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void JobPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(job));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++inflight_;
+  }
+  work_cv_.notify_one();
+}
+
+void JobPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+bool JobPool::take_locked(std::size_t id, std::function<void()>& out) {
+  if (!queues_[id].empty()) {  // Own work: newest first.
+    out = std::move(queues_[id].back());
+    queues_[id].pop_back();
+    return true;
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {  // Steal: oldest first.
+    const std::size_t victim = (id + k) % queues_.size();
+    if (!queues_[victim].empty()) {
+      out = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobPool::worker_loop(std::size_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::function<void()> job;
+    if (take_locked(id, job)) {
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        job();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !first_error_) first_error_ = err;
+      if (--inflight_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace arinoc::exec

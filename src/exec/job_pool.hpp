@@ -1,0 +1,62 @@
+// Work-stealing thread pool for the experiment-execution engine.
+//
+// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+// and steals FIFO from the other workers when its deque runs dry, so a few
+// long-running simulation cells at the end of a grid do not leave most of
+// the pool idle. Simulation cells are milliseconds-to-minutes coarse, so
+// the queues share one mutex — contention is irrelevant at this
+// granularity and the locking stays trivially ThreadSanitizer-clean.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arinoc::exec {
+
+class JobPool {
+ public:
+  /// `jobs == 0` means hardware_jobs().
+  explicit JobPool(unsigned jobs = 0);
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static unsigned hardware_jobs();
+
+  unsigned jobs() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueues a job (round-robin across worker deques). Jobs should catch
+  /// their own domain errors; an exception that does escape is captured and
+  /// rethrown from wait_idle() (first one wins, the rest of the jobs still
+  /// run).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished, then rethrows the first
+  /// escaped job exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop(std::size_t id);
+  /// Pops own work (back) or steals (front) from a sibling. Caller holds mu_.
+  bool take_locked(std::size_t id, std::function<void()>& out);
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals workers: work or stop.
+  std::condition_variable idle_cv_;   ///< Signals wait_idle(): drained.
+  std::size_t inflight_ = 0;          ///< Queued + currently running jobs.
+  std::size_t next_queue_ = 0;        ///< Round-robin submission cursor.
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace arinoc::exec

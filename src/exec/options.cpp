@@ -1,0 +1,79 @@
+#include "exec/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#ifdef _WIN32
+#include <io.h>
+#define ARINOC_ISATTY_STDERR() (_isatty(2) != 0)
+#else
+#include <unistd.h>
+#define ARINOC_ISATTY_STDERR() (isatty(2) != 0)
+#endif
+
+namespace arinoc::exec {
+
+ExecOptions options_from_env(bool default_cache) {
+  ExecOptions opts;
+  if (const char* jobs = std::getenv("ARINOC_JOBS")) {
+    opts.jobs = static_cast<unsigned>(std::strtoul(jobs, nullptr, 10));
+  }
+  opts.cache_enabled = default_cache;
+  if (std::getenv("ARINOC_NO_CACHE") != nullptr) opts.cache_enabled = false;
+  if (const char* dir = std::getenv("ARINOC_CACHE_DIR")) opts.cache_dir = dir;
+  opts.progress = ARINOC_ISATTY_STDERR();
+  return opts;
+}
+
+bool parse_exec_flags(int& argc, char** argv, ExecOptions& opts) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--jobs") == 0) {
+      const char* v = value("--jobs");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--jobs expects a number, got '%s'\n", v);
+        return false;
+      }
+      opts.jobs = static_cast<unsigned>(n);
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      opts.cache_enabled = false;
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      const char* v = value("--cache-dir");
+      if (v == nullptr) return false;
+      opts.cache_dir = v;
+      opts.cache_enabled = true;
+    } else {
+      argv[out++] = argv[i];  // Not ours: keep for the caller.
+    }
+  }
+  argc = out;
+  return true;
+}
+
+ExecOptions require_exec_flags(int argc, char** argv, bool default_cache) {
+  ExecOptions opts = options_from_env(default_cache);
+  if (!parse_exec_flags(argc, argv, opts)) std::exit(2);
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "unknown option '%s' (supported: --jobs N, --no-cache, "
+                 "--cache-dir D)\n",
+                 argv[1]);
+    std::exit(2);
+  }
+  return opts;
+}
+
+}  // namespace arinoc::exec

@@ -1,0 +1,248 @@
+#include "exec/result_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <type_traits>
+
+#include "common/version.hpp"
+
+namespace arinoc::exec {
+
+namespace {
+
+constexpr const char kFormatTag[] = "arinoc-cache-v1";
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string cache_key_string(const Config& cfg, std::string_view scheme,
+                             std::string_view benchmark,
+                             std::string_view fabric) {
+  std::ostringstream os;
+  os << "version=" << kArinocVersion << '\n'
+     << "scheme=" << scheme << '\n'
+     << "benchmark=" << benchmark << '\n'
+     << "fabric=" << fabric << '\n'
+     << cfg.canonical_string();
+  return os.str();
+}
+
+std::string serialize_metrics(const Metrics& m) {
+  std::ostringstream os;
+  auto u = [&os](const char* name, std::uint64_t v) {
+    os << name << ' ' << v << '\n';
+  };
+  auto d = [&os](const char* name, double v) {
+    os << name << ' ' << fmt_double(v) << '\n';
+  };
+  u("cycles", m.cycles);
+  u("warp_instructions", m.warp_instructions);
+  d("ipc", m.ipc);
+  d("request_latency", m.request_latency);
+  d("reply_latency", m.reply_latency);
+  u("mc_stall_cycles", m.mc_stall_cycles);
+  for (int i = 0; i < 4; ++i) {
+    u(("flits_by_type" + std::to_string(i)).c_str(), m.flits_by_type[i]);
+    u(("packets_by_type" + std::to_string(i)).c_str(), m.packets_by_type[i]);
+  }
+  d("reply_injection_util", m.reply_injection_util);
+  d("reply_internal_util", m.reply_internal_util);
+  d("request_injection_util", m.request_injection_util);
+  d("request_internal_util", m.request_internal_util);
+  d("ni_occupancy_pkts", m.ni_occupancy_pkts);
+  d("l1_hit_rate", m.l1_hit_rate);
+  d("l2_hit_rate", m.l2_hit_rate);
+  d("dram_row_hit_rate", m.dram_row_hit_rate);
+  u("flits_corrupted", m.flits_corrupted);
+  u("packets_corrupted", m.packets_corrupted);
+  u("packets_retransmitted", m.packets_retransmitted);
+  u("packets_recovered", m.packets_recovered);
+  u("packets_lost", m.packets_lost);
+  u("duplicates_dropped", m.duplicates_dropped);
+  u("credits_lost", m.credits_lost);
+  u("link_stall_events", m.link_stall_events);
+  u("port_failures", m.port_failures);
+  u("act_noc_link_flits", m.activity.noc_link_flits);
+  u("act_noc_buffer_ops", m.activity.noc_buffer_ops);
+  u("act_noc_crossbar", m.activity.noc_crossbar);
+  u("act_noc_retx_flits", m.activity.noc_retx_flits);
+  u("act_dram_activates", m.activity.dram_activates);
+  u("act_dram_accesses", m.activity.dram_accesses);
+  u("act_l2_accesses", m.activity.l2_accesses);
+  u("act_l1_accesses", m.activity.l1_accesses);
+  u("act_core_instructions", m.activity.core_instructions);
+  u("act_cycles", m.activity.cycles);
+  d("energy_dynamic_noc_nj", m.energy.dynamic_noc_nj);
+  d("energy_dynamic_mem_nj", m.energy.dynamic_mem_nj);
+  d("energy_dynamic_core_nj", m.energy.dynamic_core_nj);
+  d("energy_static_nj", m.energy.static_nj);
+  return os.str();
+}
+
+std::optional<Metrics> deserialize_metrics(const std::string& text) {
+  Metrics m;
+  std::istringstream is(text);
+  std::string name, value;
+  std::size_t fields = 0;
+  auto want_u = [&](const char* key, auto& out) {
+    if (name != key) return false;
+    out = static_cast<std::remove_reference_t<decltype(out)>>(
+        std::strtoull(value.c_str(), nullptr, 10));
+    ++fields;
+    return true;
+  };
+  auto want_d = [&](const char* key, double& out) {
+    if (name != key) return false;
+    out = std::strtod(value.c_str(), nullptr);  // Accepts hexfloat.
+    ++fields;
+    return true;
+  };
+  while (is >> name >> value) {
+    bool matched =
+        want_u("cycles", m.cycles) ||
+        want_u("warp_instructions", m.warp_instructions) ||
+        want_d("ipc", m.ipc) || want_d("request_latency", m.request_latency) ||
+        want_d("reply_latency", m.reply_latency) ||
+        want_u("mc_stall_cycles", m.mc_stall_cycles) ||
+        want_d("reply_injection_util", m.reply_injection_util) ||
+        want_d("reply_internal_util", m.reply_internal_util) ||
+        want_d("request_injection_util", m.request_injection_util) ||
+        want_d("request_internal_util", m.request_internal_util) ||
+        want_d("ni_occupancy_pkts", m.ni_occupancy_pkts) ||
+        want_d("l1_hit_rate", m.l1_hit_rate) ||
+        want_d("l2_hit_rate", m.l2_hit_rate) ||
+        want_d("dram_row_hit_rate", m.dram_row_hit_rate) ||
+        want_u("flits_corrupted", m.flits_corrupted) ||
+        want_u("packets_corrupted", m.packets_corrupted) ||
+        want_u("packets_retransmitted", m.packets_retransmitted) ||
+        want_u("packets_recovered", m.packets_recovered) ||
+        want_u("packets_lost", m.packets_lost) ||
+        want_u("duplicates_dropped", m.duplicates_dropped) ||
+        want_u("credits_lost", m.credits_lost) ||
+        want_u("link_stall_events", m.link_stall_events) ||
+        want_u("port_failures", m.port_failures) ||
+        want_u("act_noc_link_flits", m.activity.noc_link_flits) ||
+        want_u("act_noc_buffer_ops", m.activity.noc_buffer_ops) ||
+        want_u("act_noc_crossbar", m.activity.noc_crossbar) ||
+        want_u("act_noc_retx_flits", m.activity.noc_retx_flits) ||
+        want_u("act_dram_activates", m.activity.dram_activates) ||
+        want_u("act_dram_accesses", m.activity.dram_accesses) ||
+        want_u("act_l2_accesses", m.activity.l2_accesses) ||
+        want_u("act_l1_accesses", m.activity.l1_accesses) ||
+        want_u("act_core_instructions", m.activity.core_instructions) ||
+        want_u("act_cycles", m.activity.cycles) ||
+        want_d("energy_dynamic_noc_nj", m.energy.dynamic_noc_nj) ||
+        want_d("energy_dynamic_mem_nj", m.energy.dynamic_mem_nj) ||
+        want_d("energy_dynamic_core_nj", m.energy.dynamic_core_nj) ||
+        want_d("energy_static_nj", m.energy.static_nj);
+    if (!matched) {
+      for (int i = 0; i < 4 && !matched; ++i) {
+        matched = want_u(("flits_by_type" + std::to_string(i)).c_str(),
+                         m.flits_by_type[i]) ||
+                  want_u(("packets_by_type" + std::to_string(i)).c_str(),
+                         m.packets_by_type[i]);
+      }
+    }
+    if (!matched) return std::nullopt;  // Unknown field: stale layout.
+  }
+  // 37 scalar fields + 8 array slots; anything short is a truncated entry.
+  if (fields != 45) return std::nullopt;
+  return m;
+}
+
+std::string ResultCache::default_dir() {
+  if (const char* dir = std::getenv("ARINOC_CACHE_DIR")) return dir;
+  return ".arinoc-cache";
+}
+
+std::string ResultCache::entry_path(const std::string& key_material) const {
+  return dir_ + "/" + hex64(fnv1a64(key_material)) + ".cell";
+}
+
+std::optional<Metrics> ResultCache::load(
+    const std::string& key_material) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(entry_path(key_material), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // Layout: tag line, "<key bytes> <metrics bytes>" counts line, the key
+  // material verbatim, then the metrics payload.
+  std::istringstream header(text);
+  std::string tag;
+  std::size_t key_len = 0, val_len = 0;
+  if (!std::getline(header, tag) || tag != kFormatTag) return std::nullopt;
+  if (!(header >> key_len >> val_len)) return std::nullopt;
+  header.ignore(1);  // The newline after the counts.
+  const auto body = static_cast<std::size_t>(header.tellg());
+  if (body == static_cast<std::size_t>(-1) ||
+      text.size() != body + key_len + val_len) {
+    return std::nullopt;
+  }
+  if (text.compare(body, key_len, key_material) != 0) {
+    return std::nullopt;  // Hash collision: treat as a miss.
+  }
+  return deserialize_metrics(text.substr(body + key_len, val_len));
+}
+
+void ResultCache::store(const std::string& key_material,
+                        const Metrics& m) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+
+  const std::string payload = serialize_metrics(m);
+  std::ostringstream os;
+  os << kFormatTag << '\n'
+     << key_material.size() << ' ' << payload.size() << '\n'
+     << key_material << payload;
+
+  const std::string path = entry_path(key_material);
+  // Unique temp name per writer thread so concurrent stores never interleave.
+  const std::string tmp =
+      path + ".tmp" +
+      hex64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << os.str();
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace arinoc::exec

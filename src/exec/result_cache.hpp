@@ -1,0 +1,65 @@
+// On-disk result cache for simulation cells.
+//
+// A cell is keyed by FNV-1a-64 over (canonicalized Config, scheme name,
+// benchmark name, reply-fabric variant, library version); the value is the
+// cell's full Metrics record, serialized losslessly (integers in decimal,
+// doubles in hexfloat), so a cache hit reproduces byte-identical CSV/JSON
+// output. Entries carry the full key material and are verified on load, so
+// a 64-bit hash collision degrades to a miss, never a wrong result.
+//
+// Writes go through a temp file + rename: concurrent writers (pool workers,
+// or two sweeps sharing a directory) can only ever publish complete entries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/config.hpp"
+#include "core/gpgpu_sim.hpp"
+
+namespace arinoc::exec {
+
+/// FNV-1a 64-bit — stable across platforms, good enough for file naming
+/// (correctness never depends on it: entries verify their key material).
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// The full key material for one cell. `fabric` distinguishes the mesh
+/// reply network from the DA2mesh overlay.
+std::string cache_key_string(const Config& cfg, std::string_view scheme,
+                             std::string_view benchmark,
+                             std::string_view fabric);
+
+/// Lossless flat-text Metrics serialization (the cache value format).
+std::string serialize_metrics(const Metrics& m);
+/// Inverse of serialize_metrics; nullopt on malformed/unknown-layout input.
+std::optional<Metrics> deserialize_metrics(const std::string& text);
+
+class ResultCache {
+ public:
+  /// `dir` is created on first store. An empty dir disables the cache
+  /// (every lookup misses, stores are dropped).
+  explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the cached Metrics for this key material, or nullopt.
+  std::optional<Metrics> load(const std::string& key_material) const;
+
+  /// Publishes a result. Failures (unwritable dir, full disk) are silently
+  /// ignored — the cache is an accelerator, never a correctness dependency.
+  void store(const std::string& key_material, const Metrics& m) const;
+
+  /// Default directory: $ARINOC_CACHE_DIR, else ".arinoc-cache".
+  static std::string default_dir();
+
+ private:
+  std::string entry_path(const std::string& key_material) const;
+
+  std::string dir_;
+};
+
+}  // namespace arinoc::exec

@@ -1,0 +1,154 @@
+#include "exec/runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+#include "core/watchdog.hpp"
+#include "exec/job_pool.hpp"
+#include "exec/result_cache.hpp"
+#include "workloads/benchmark.hpp"
+
+namespace arinoc::exec {
+
+namespace {
+
+/// Serialized stderr progress line: [done/total] + elapsed + ETA.
+class Progress {
+ public:
+  Progress(bool enabled, std::size_t total)
+      : enabled_(enabled && total > 0),
+        total_(total),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void tick(const CellResult& r) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double eta =
+        elapsed / static_cast<double>(done_) *
+        static_cast<double>(total_ - done_);
+    std::fprintf(stderr,
+                 "\r[%3zu/%3zu] %3.0f%% elapsed %5.1fs eta %5.1fs  %s%s/%s "
+                 "%-12s\x1b[K",
+                 done_, total_, 100.0 * static_cast<double>(done_) /
+                                    static_cast<double>(total_),
+                 elapsed, eta, r.from_cache ? "(cached) " : "",
+                 r.scheme.c_str(), r.benchmark.c_str(),
+                 r.ok() ? "" : "[error]");
+    if (done_ == total_) std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
+
+ private:
+  bool enabled_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+};
+
+void record_error(CellResult& r, std::string kind, const char* what,
+                  int exit_status, std::string detail = {}) {
+  r.error = what;
+  r.error_kind = std::move(kind);
+  r.error_detail = std::move(detail);
+  r.exit_status = exit_status;
+  r.metrics = Metrics{};
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(Config base, ExecOptions opts)
+    : base_(std::move(base)), opts_(std::move(opts)) {}
+
+Config ExperimentRunner::resolve(const CellSpec& cell) const {
+  return resolve_cell_config(base_, cell.scheme, cell.benchmark, cell.tweak);
+}
+
+std::vector<CellResult> ExperimentRunner::run(
+    const std::vector<CellSpec>& cells) {
+  stats_ = Stats{};
+  stats_.total = cells.size();
+
+  const ResultCache cache(
+      opts_.cache_enabled
+          ? (opts_.cache_dir.empty() ? ResultCache::default_dir()
+                                     : opts_.cache_dir)
+          : std::string{});
+
+  // Phase 1 (serial): identity + full config resolution, so every cell's
+  // seed and cache key are fixed before any worker touches anything.
+  std::vector<CellResult> results(cells.size());
+  std::vector<Config> configs(cells.size());
+  std::vector<bool> runnable(cells.size(), false);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    results[i].point = cells[i].point;
+    results[i].scheme = scheme_name(cells[i].scheme);
+    results[i].benchmark = cells[i].benchmark;
+    try {
+      configs[i] = resolve(cells[i]);
+      runnable[i] = true;
+    } catch (const std::invalid_argument& e) {
+      record_error(results[i], "config", e.what(), 2);
+    }
+  }
+
+  // Phase 2 (parallel): each worker owns exactly one result slot.
+  Progress progress(opts_.progress, cells.size());
+  {
+    JobPool pool(opts_.jobs);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!runnable[i]) {
+        progress.tick(results[i]);
+        continue;
+      }
+      pool.submit([this, i, &cells, &configs, &results, &cache, &progress] {
+        CellResult& r = results[i];
+        const std::string key = cache_key_string(
+            configs[i], r.scheme, r.benchmark,
+            cells[i].da2mesh ? "da2mesh" : "mesh");
+        if (auto cached = cache.load(key)) {
+          r.metrics = *cached;
+          r.from_cache = true;
+        } else {
+          try {
+            const BenchmarkTraits* traits = find_benchmark(r.benchmark);
+            if (traits == nullptr) {
+              throw std::invalid_argument("unknown benchmark '" +
+                                          r.benchmark + "'");
+            }
+            GpgpuSim sim(configs[i], *traits, cells[i].da2mesh);
+            sim.run_with_warmup();
+            r.metrics = sim.collect();
+            cache.store(key, r.metrics);
+          } catch (const WatchdogTrip& trip) {
+            record_error(r, watchdog_trip_name(trip.kind()), trip.what(),
+                         trip.exit_status(), trip.dump());
+          } catch (const std::invalid_argument& e) {
+            record_error(r, "config", e.what(), 2);
+          } catch (const std::exception& e) {
+            record_error(r, "runtime", e.what(), 1);
+          }
+        }
+        progress.tick(r);
+      });
+    }
+    pool.wait_idle();
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].from_cache) ++stats_.cache_hits;
+    if (!results[i].ok()) ++stats_.errors;
+    if (runnable[i] && !results[i].from_cache) ++stats_.simulated;
+  }
+  return results;
+}
+
+}  // namespace arinoc::exec

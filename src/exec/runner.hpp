@@ -1,0 +1,93 @@
+// ExperimentRunner: maps a grid of simulation cells onto the JobPool.
+//
+// Guarantees:
+//  * Deterministic output. Every cell's full Config (including its derived
+//    RNG seed) is resolved serially, before any worker runs; results land
+//    in a pre-sized vector slot per cell. Byte-identical output for any
+//    jobs count and any scheduling order.
+//  * Seeding discipline. Each cell simulates with
+//    derive_cell_seed(cfg.seed, benchmark) (see core/experiment.hpp) — the
+//    base seed decorrelates the RNG streams of different workloads while
+//    every (point, scheme) comparison on the same benchmark stays
+//    seed-paired, which is what the paper-shape checks rely on.
+//  * Crash isolation. A cell that trips the watchdog (or throws anything
+//    else) records a structured error in its CellResult; the remaining
+//    cells keep running.
+//  * Optional on-disk result caching (see result_cache.hpp): re-running a
+//    sweep only simulates cells whose key material changed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/gpgpu_sim.hpp"
+
+namespace arinoc::exec {
+
+struct ExecOptions {
+  unsigned jobs = 0;          ///< Worker threads; 0 = hardware concurrency.
+  bool cache_enabled = false;
+  std::string cache_dir;      ///< Empty = ResultCache::default_dir().
+  bool progress = false;      ///< Live [done/total] + ETA lines on stderr.
+};
+
+/// One grid cell: (point label, scheme, benchmark) plus an optional config
+/// mutation applied after the scheme preset (same contract as Sweep).
+struct CellSpec {
+  std::string point;
+  Scheme scheme = Scheme::kXYBaseline;
+  std::string benchmark;
+  std::function<void(Config&)> tweak;
+  bool da2mesh = false;
+};
+
+struct CellResult {
+  std::string point;
+  std::string scheme;
+  std::string benchmark;
+  Metrics metrics;
+
+  // Structured per-cell error. ok() == false leaves `metrics` zeroed.
+  std::string error;       ///< Human-readable message; empty = success.
+  std::string error_kind;  ///< "config" | "deadlock" | "livelock" |
+                           ///< "invariant-violation" | "runtime".
+  std::string error_detail;  ///< Watchdog diagnostic dump, when available.
+  int exit_status = 0;       ///< Matches the arinoc_sim exit-code contract.
+  bool from_cache = false;
+
+  bool ok() const { return error.empty(); }
+};
+
+class ExperimentRunner {
+ public:
+  struct Stats {
+    std::size_t total = 0;
+    std::size_t simulated = 0;   ///< Cells actually run this call.
+    std::size_t cache_hits = 0;
+    std::size_t errors = 0;
+  };
+
+  explicit ExperimentRunner(Config base, ExecOptions opts = {});
+
+  /// Runs the grid; results are in cell-submission order.
+  std::vector<CellResult> run(const std::vector<CellSpec>& cells);
+
+  /// Stats for the most recent run() call.
+  const Stats& stats() const { return stats_; }
+  const ExecOptions& options() const { return opts_; }
+
+  /// The fully resolved per-cell config (scheme preset, tweak, derived
+  /// seed) — exposed so tests can audit the seeding/caching discipline.
+  Config resolve(const CellSpec& cell) const;
+
+ private:
+  Config base_;
+  ExecOptions opts_;
+  Stats stats_;
+};
+
+}  // namespace arinoc::exec
