@@ -12,6 +12,7 @@
 #include "noc/arbiter.hpp"
 #include "noc/network.hpp"
 #include "noc/ni.hpp"
+#include "obs/trace.hpp"
 #include "workloads/tracegen.hpp"
 
 namespace {
@@ -111,6 +112,19 @@ void BM_NetworkStep(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStep);
 
+/// Raw cost of one trace-ring write (the per-event price every hook pays
+/// when tracing is on).
+void BM_TracerRecord(benchmark::State& state) {
+  obs::PacketTracer tracer;
+  Cycle t = 0;
+  for (auto _ : state) {
+    tracer.record(obs::TraceEventKind::kLinkHop, 0, t++, 42,
+                  PacketType::kReadReply, 7, 1);
+    benchmark::DoNotOptimize(tracer.size());
+  }
+}
+BENCHMARK(BM_TracerRecord);
+
 /// Full GPGPU system cycle (cores + both networks + MCs + DRAM).
 void BM_FullSystemCycle(benchmark::State& state) {
   Config cfg = apply_scheme(Config{}, Scheme::kAdaARI);
@@ -121,6 +135,21 @@ void BM_FullSystemCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSystemCycle);
+
+/// The same cycle with the lifecycle tracer attached — compare against
+/// BM_FullSystemCycle to see the observability tax when tracing is ON
+/// (the OFF path is a null-pointer check and shows up as zero here).
+void BM_FullSystemCycleTraced(benchmark::State& state) {
+  Config cfg = apply_scheme(Config{}, Scheme::kAdaARI);
+  GpgpuSim sim(cfg, *find_benchmark("bfs"));
+  obs::PacketTracer tracer;
+  sim.attach_tracer(&tracer);
+  sim.run(500);  // Warm structures.
+  for (auto _ : state) {
+    sim.step();
+  }
+}
+BENCHMARK(BM_FullSystemCycleTraced);
 
 }  // namespace
 

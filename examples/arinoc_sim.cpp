@@ -2,7 +2,7 @@
 //
 //   arinoc_sim [options]
 //     --benchmark <name>      synthetic workload (default: bfs)
-//     --trace <file>          trace-file workload (overrides --benchmark)
+//     --replay <file>         trace-file workload (overrides --benchmark)
 //     --scheme <name>         XY-Baseline | XY-ARI | Ada-Baseline |
 //                             Ada-MultiPort | Ada-ARI | Acc-Supply |
 //                             Acc-Consume | Acc-Both-NoPriority |
@@ -24,8 +24,25 @@
 //     --cache-dir <dir>       result-cache directory (default:
 //                             $ARINOC_CACHE_DIR or .arinoc-cache)
 //   A cache hit replays the stored metrics byte-identically instead of
-//   re-simulating. Trace-file runs bypass the cache (the cache key covers
+//   re-simulating. Replay runs bypass the cache (the cache key covers
 //   named benchmarks, not trace file contents).
+//
+//   Observability (see docs/observability.md; all off by default):
+//     --trace                 record the packet-lifecycle event trace
+//     --trace-out <file>      Chrome trace-event JSON path (implies
+//                             --trace; default: arinoc-trace.json)
+//     --trace-capacity <n>    trace ring size in events (default: 65536)
+//     --sample-interval <n>   telemetry sample every n cycles (0 = off)
+//     --sample-out <file>     telemetry JSONL path (needs --sample-interval)
+//     --counters-out <file>   dump the counter registry as JSON after the
+//                             run
+//   Environment fallbacks: ARINOC_TRACE (any value), ARINOC_TRACE_OUT,
+//   ARINOC_SAMPLE_INTERVAL, ARINOC_SAMPLE_OUT. Observed runs execute the
+//   simulator directly (same per-cell seed derivation as the execution
+//   engine, so metrics match the unobserved path bit-for-bit) and bypass
+//   the result cache. Trace/telemetry files are written even when the
+//   watchdog trips — the cycles leading up to a deadlock are exactly the
+//   ones worth looking at.
 //
 //   Fault injection (reply network; all rates default to 0 = off):
 //     --fault-corrupt <p>     per-link/cycle transient corruption prob.
@@ -46,7 +63,9 @@
 //               3 deadlock detected, 4 livelock detected,
 //               5 invariant violation detected.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -56,6 +75,8 @@
 #include "core/report.hpp"
 #include "exec/options.hpp"
 #include "exec/runner.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/tracefile.hpp"
 
@@ -79,6 +100,10 @@ void print_human(const Metrics& m, bool faults) {
   t.add_row({"IPC (warp instr/cycle)", fmt(m.ipc)});
   t.add_row({"request packet latency", fmt(m.request_latency, 1)});
   t.add_row({"reply packet latency", fmt(m.reply_latency, 1)});
+  t.add_row({"reply latency p50/p95/p99",
+             fmt(m.reply_latency_p50, 1) + " / " +
+                 fmt(m.reply_latency_p95, 1) + " / " +
+                 fmt(m.reply_latency_p99, 1)});
   t.add_row({"MC stall cycles", std::to_string(m.mc_stall_cycles)});
   t.add_row({"reply injection link util", fmt(m.reply_injection_util)});
   t.add_row({"reply in-network link util", fmt(m.reply_internal_util)});
@@ -104,15 +129,93 @@ void print_human(const Metrics& m, bool faults) {
   std::printf("%s", t.to_string().c_str());
 }
 
+struct ObsOptions {
+  bool trace = false;
+  std::string trace_out;     ///< Defaults to "arinoc-trace.json" if tracing.
+  std::size_t trace_capacity = obs::PacketTracer::kDefaultCapacity;
+  std::string sample_out;    ///< Telemetry JSONL (needs --sample-interval).
+  std::string counters_out;  ///< Counter-registry JSON dump.
+
+  /// Any observer active means the run executes the simulator directly
+  /// instead of going through the exec engine (whose workers own their
+  /// simulators, so there is nothing to attach a tracer to).
+  bool any() const {
+    return trace || !sample_out.empty() || !counters_out.empty();
+  }
+};
+
+ObsOptions obs_from_env() {
+  ObsOptions obs;
+  if (std::getenv("ARINOC_TRACE") != nullptr) obs.trace = true;
+  if (const char* out = std::getenv("ARINOC_TRACE_OUT")) {
+    obs.trace = true;
+    obs.trace_out = out;
+  }
+  if (const char* out = std::getenv("ARINOC_SAMPLE_OUT")) obs.sample_out = out;
+  return obs;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (out) out << body;
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Runs an observed simulation: attaches the requested observers, runs, and
+/// writes every requested artifact — including after a watchdog trip.
+/// Returns the process exit status; fills `m` and `breakdown` on success.
+int run_observed(GpgpuSim& sim, const ObsOptions& obs, Cycle sample_interval,
+                 Metrics& m, std::string& breakdown) {
+  obs::PacketTracer tracer(obs.trace_capacity);
+  if (obs.trace) sim.attach_tracer(&tracer);
+  if (sample_interval > 0) sim.enable_sampling(sample_interval);
+
+  int status = 0;
+  std::string trip_text;
+  try {
+    sim.run_with_warmup();
+  } catch (const WatchdogTrip& trip) {
+    status = trip.exit_status();
+    trip_text = std::string(trip.what()) + "\n" + trip.dump();
+  }
+  if (sample_interval > 0) sim.flush_sampler();
+  if (status == 0) m = sim.collect();
+
+  if (obs.trace) {
+    const std::string path = obs.trace_out.empty()
+                                 ? std::string("arinoc-trace.json")
+                                 : obs.trace_out;
+    if (!write_file(path, tracer.to_chrome_json()) && status == 0) status = 1;
+    breakdown = tracer.breakdown_report();
+  }
+  if (!obs.sample_out.empty() && sim.sampler() != nullptr) {
+    if (!write_file(obs.sample_out, sim.sampler()->to_jsonl()) && status == 0)
+      status = 1;
+  }
+  if (!obs.counters_out.empty()) {
+    obs::CounterRegistry reg;
+    sim.register_counters(&reg);
+    if (!write_file(obs.counters_out, reg.to_json() + "\n") && status == 0)
+      status = 1;
+  }
+  if (!trip_text.empty()) std::fprintf(stderr, "%s", trip_text.c_str());
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string benchmark = "bfs";
-  std::string trace_path;
+  std::string replay_path;
   Scheme scheme = Scheme::kAdaARI;
   Config cfg = make_base_config();
   bool da2mesh = false;
   bool json = false;
+  ObsOptions obs = obs_from_env();
 
   exec::ExecOptions exec_opts = exec::options_from_env(true);
   exec_opts.jobs = 1;        // One cell; a wide pool buys nothing here.
@@ -130,8 +233,19 @@ int main(int argc, char** argv) {
     };
     if (arg == "--benchmark") {
       benchmark = value();
+    } else if (arg == "--replay") {
+      replay_path = value();
     } else if (arg == "--trace") {
-      trace_path = value();
+      obs.trace = true;
+    } else if (arg == "--trace-out") {
+      obs.trace = true;
+      obs.trace_out = value();
+    } else if (arg == "--trace-capacity") {
+      obs.trace_capacity = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--sample-out") {
+      obs.sample_out = value();
+    } else if (arg == "--counters-out") {
+      obs.counters_out = value();
     } else if (arg == "--scheme") {
       const std::string name = value();
       const auto s = parse_scheme(name);
@@ -206,26 +320,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!obs.sample_out.empty() && exec_opts.sample_interval == 0) {
+    std::fprintf(stderr, "--sample-out requires --sample-interval <n>\n");
+    return 2;
+  }
+
   Metrics m;
-  if (!trace_path.empty()) {
-    // Trace runs bypass the exec cache: the cache key covers named
+  std::string breakdown;
+  if (!replay_path.empty()) {
+    // Replay runs bypass the exec cache: the cache key covers named
     // benchmarks, not trace file contents.
-    Config traced = apply_scheme(cfg, scheme);
-    const std::string err = traced.validate();
+    Config replayed = apply_scheme(cfg, scheme);
+    const std::string err = replayed.validate();
     if (!err.empty()) {
       std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
       return 2;
     }
     try {
-      Trace trace = Trace::load(trace_path);
-      TraceFileSource source(std::move(trace), traced.num_ccs(),
-                             traced.warps_per_core, traced.line_bytes);
-      GpgpuSim sim(traced, &source, da2mesh);
-      sim.run_with_warmup();
-      m = sim.collect();
-    } catch (const WatchdogTrip& trip) {
-      std::fprintf(stderr, "%s\n%s", trip.what(), trip.dump().c_str());
-      return trip.exit_status();
+      Trace trace = Trace::load(replay_path);
+      TraceFileSource source(std::move(trace), replayed.num_ccs(),
+                             replayed.warps_per_core, replayed.line_bytes);
+      GpgpuSim sim(replayed, &source, da2mesh);
+      const int status =
+          run_observed(sim, obs, exec_opts.sample_interval, m, breakdown);
+      if (status != 0) return status;
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else if (obs.any()) {
+    // Observed runs execute the simulator directly — the exec workers own
+    // their simulators, so there is nothing to attach a tracer to. The
+    // config goes through the same resolve_cell_config() as the exec path,
+    // so seed derivation (and therefore every metric) matches bit-for-bit.
+    const BenchmarkTraits* traits = find_benchmark(benchmark);
+    if (traits == nullptr) {
+      std::fprintf(stderr, "unknown benchmark '%s' (see --list-benchmarks)\n",
+                   benchmark.c_str());
+      return 2;
+    }
+    try {
+      const Config resolved = resolve_cell_config(cfg, scheme, benchmark);
+      GpgpuSim sim(resolved, *traits, da2mesh);
+      const int status =
+          run_observed(sim, obs, exec_opts.sample_interval, m, breakdown);
+      if (status != 0) return status;
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -258,8 +400,9 @@ int main(int argc, char** argv) {
     std::printf("%s\n", metrics_to_json(m).c_str());
   } else {
     std::printf("scheme: %s   workload: %s\n", scheme_name(scheme),
-                trace_path.empty() ? benchmark.c_str() : trace_path.c_str());
+                replay_path.empty() ? benchmark.c_str() : replay_path.c_str());
     print_human(m, cfg.fault_enabled());
+    if (!breakdown.empty()) std::printf("\n%s", breakdown.c_str());
   }
   return 0;
 }

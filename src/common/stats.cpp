@@ -1,8 +1,68 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace arinoc {
+
+std::size_t LogHistogram::bucket_of(double x) {
+  if (!(x >= 1.0)) return 0;  // Underflow (and NaN, which compares false).
+  const double idx = std::floor(std::log2(x) * kSubBuckets);
+  if (idx >= static_cast<double>(kOctaves * kSubBuckets)) {
+    return kNumBuckets - 1;  // Overflow.
+  }
+  return 1 + static_cast<std::size_t>(idx);
+}
+
+double LogHistogram::bucket_lower(std::size_t i) {
+  if (i == 0) return 0.0;
+  return std::exp2(static_cast<double>(i - 1) / kSubBuckets);
+}
+
+double LogHistogram::bucket_upper(std::size_t i) {
+  if (i == 0) return 1.0;
+  return std::exp2(static_cast<double>(i) / kSubBuckets);
+}
+
+void LogHistogram::add(double x) {
+  if (count_ == 0 || x < min_) min_ = x;
+  if (count_ == 0 || x > max_) max_ = x;
+  sum_ += x;
+  ++count_;
+  ++buckets_[bucket_of(x)];
+}
+
+double LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank with interpolation inside the selected bucket.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cum + buckets_[i] >= rank) {
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      const double frac =
+          (static_cast<double>(rank - cum) - 0.5) /
+          static_cast<double>(buckets_[i]);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cum += buckets_[i];
+  }
+  return max_;  // p == 100 with rounding; the last sample.
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
 
 double geomean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;

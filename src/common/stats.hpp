@@ -1,6 +1,7 @@
 // Lightweight statistics helpers used by instrumentation and the benches.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -25,6 +26,58 @@ class Accumulator {
   double max() const { return count_ ? max_ : 0.0; }
 
  private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket log-scale histogram for latency-style distributions.
+///
+/// Buckets are geometric: kSubBuckets buckets per octave (factor-of-two
+/// range) over [1, 2^kOctaves), plus an underflow bucket for samples < 1 and
+/// an overflow bucket above the covered range. The layout is fixed at
+/// compile time, so adding a sample is O(1) with no allocation and two
+/// histograms are always mergeable. Percentiles interpolate linearly inside
+/// the selected bucket and are clamped to the observed [min, max], so the
+/// relative error is bounded by the bucket width (2^(1/kSubBuckets) - 1,
+/// ~19% with 4 sub-buckets) and degenerate single-value streams report the
+/// exact value.
+class LogHistogram {
+ public:
+  static constexpr std::uint32_t kSubBuckets = 4;  ///< Buckets per octave.
+  static constexpr std::uint32_t kOctaves = 32;    ///< Covers [1, 2^32).
+  static constexpr std::uint32_t kNumBuckets = 2 + kOctaves * kSubBuckets;
+
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Value at percentile `p` (0..100); 0 for an empty histogram.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+  void merge(const LogHistogram& other);
+  void reset() { *this = LogHistogram{}; }
+
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+  /// Inclusive lower bound of bucket `i` (0 for the underflow bucket).
+  static double bucket_lower(std::size_t i);
+  /// Exclusive upper bound of bucket `i`.
+  static double bucket_upper(std::size_t i);
+
+ private:
+  static std::size_t bucket_of(double x);
+
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

@@ -5,6 +5,6 @@
 
 namespace arinoc {
 
-inline constexpr const char kArinocVersion[] = "0.2.0-exec";
+inline constexpr const char kArinocVersion[] = "0.3.0-obs";
 
 }  // namespace arinoc

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace arinoc {
 
 // ---------------------------------------------------------------- Ports
@@ -243,6 +246,9 @@ void GpgpuSim::step() {
     for (auto& ni : reply_inject_) ni->sample();
   }
   ++cycle_;
+  if (sampler_ && cycle_ - sample_anchor_ >= sampler_->interval()) {
+    take_sample();
+  }
 
   // 7) Liveness checks (read-only; subsampled inside the watchdog). The
   // overlay reply path has no movement probes, so only the mesh networks
@@ -308,6 +314,189 @@ void GpgpuSim::reset_stats() {
     if (ni) ni->reset_stats();
   }
   measure_start_ = cycle_;
+  if (sampler_) {
+    // Warmup windows never leak into the series: drop them and re-baseline
+    // against the just-reset counters.
+    sampler_->clear();
+    obs_base_ = capture_obs_baseline();
+    sample_anchor_ = cycle_;
+  }
+}
+
+// ---------------------------------------------------------- Observability
+
+void GpgpuSim::attach_tracer(obs::PacketTracer* t) {
+  tracer_ = t;
+  request_net_->set_tracer(t, 0);
+  reply_net_->set_tracer(t, 1);
+}
+
+void GpgpuSim::enable_sampling(Cycle interval) {
+  if (interval == 0) {
+    sampler_.reset();
+    return;
+  }
+  sampler_ = std::make_unique<obs::TelemetrySampler>(interval);
+  obs_base_ = capture_obs_baseline();
+  sample_anchor_ = cycle_;
+}
+
+void GpgpuSim::flush_sampler() {
+  if (sampler_ && cycle_ > sample_anchor_) take_sample();
+}
+
+GpgpuSim::ObsBaseline GpgpuSim::capture_obs_baseline() const {
+  ObsBaseline b;
+  for (const auto& c : cores_) b.warp_instructions += c->warp_instructions();
+  const NocStats& req = request_net_->stats();
+  b.req_injected = req.packets_injected;
+  b.req_delivered = req.total_packets();
+  const NocStats& rep = overlay_ ? overlay_->stats() : reply_net_->stats();
+  b.rep_injected = rep.packets_injected;
+  b.rep_delivered = rep.total_packets();
+  b.req_link_flits = request_net_->internal_flits_total();
+  for (const auto& mc : mcs_) b.mc_stall_cycles += mc->stall_cycles();
+  if (!overlay_) {
+    b.rep_link_flits = reply_net_->internal_flits_total();
+    b.flits_corrupted = reply_net_->stats().flits_corrupted;
+    if (const RetransmitTracker* rtx = reply_net_->retransmit()) {
+      b.retransmits = rtx->retransmitted();
+    }
+  }
+  return b;
+}
+
+void GpgpuSim::take_sample() {
+  const Cycle window = cycle_ - sample_anchor_;
+  if (window == 0) return;
+  const ObsBaseline cur = capture_obs_baseline();
+  const double w = static_cast<double>(window);
+
+  obs::TelemetrySample s;
+  s.cycle = cycle_;
+  s.window = window;
+  s.ipc =
+      static_cast<double>(cur.warp_instructions - obs_base_.warp_instructions) /
+      w;
+  s.request_inject_rate =
+      static_cast<double>(cur.req_injected - obs_base_.req_injected) / w;
+  s.request_deliver_rate =
+      static_cast<double>(cur.req_delivered - obs_base_.req_delivered) / w;
+  s.reply_inject_rate =
+      static_cast<double>(cur.rep_injected - obs_base_.rep_injected) / w;
+  s.reply_deliver_rate =
+      static_cast<double>(cur.rep_delivered - obs_base_.rep_delivered) / w;
+  if (const std::uint32_t links = request_net_->num_internal_links()) {
+    s.request_link_util =
+        static_cast<double>(cur.req_link_flits - obs_base_.req_link_flits) /
+        (w * links);
+  }
+  if (!overlay_) {
+    if (const std::uint32_t links = reply_net_->num_internal_links()) {
+      s.reply_link_util =
+          static_cast<double>(cur.rep_link_flits - obs_base_.rep_link_flits) /
+          (w * links);
+    }
+    double occ = 0.0;
+    for (const auto& ni : reply_inject_) {
+      occ += static_cast<double>(ni->occupancy_packets());
+    }
+    s.ni_occupancy_pkts = occ / static_cast<double>(reply_inject_.size());
+    s.buffered_flits = request_net_->buffered_flits_total() +
+                       reply_net_->buffered_flits_total();
+  } else {
+    s.buffered_flits = request_net_->buffered_flits_total();
+  }
+  s.mc_stall_rate =
+      static_cast<double>(cur.mc_stall_cycles - obs_base_.mc_stall_cycles) /
+      (w * static_cast<double>(mcs_.size()));
+  s.live_packets = txns_.live();
+  s.retransmits = cur.retransmits - obs_base_.retransmits;
+  s.flits_corrupted = cur.flits_corrupted - obs_base_.flits_corrupted;
+
+  sampler_->push(s);
+  obs_base_ = cur;
+  sample_anchor_ = cycle_;
+}
+
+void GpgpuSim::register_counters(obs::CounterRegistry* reg) const {
+  reg->register_counter("sim.cycles",
+                        [this] { return static_cast<std::uint64_t>(cycle_); });
+  reg->register_counter("sim.live_txns",
+                        [this] { return static_cast<std::uint64_t>(txns_.live()); });
+
+  for (const auto& cp : cores_) {
+    const SimtCore* c = cp.get();
+    const std::string p = "core" + std::to_string(c->core_id()) + ".";
+    reg->register_counter(p + "warp_instructions",
+                          [c] { return c->warp_instructions(); });
+    reg->register_counter(p + "requests_sent",
+                          [c] { return c->requests_sent(); });
+    reg->register_counter(p + "issue_stall_cycles",
+                          [c] { return c->issue_stall_cycles(); });
+    reg->register_counter(p + "l1.hits", [c] { return c->l1().hits(); });
+    reg->register_counter(p + "l1.misses", [c] { return c->l1().misses(); });
+  }
+
+  for (const auto& mp : mcs_) {
+    const MemController* mc = mp.get();
+    const std::string p = "mc" + std::to_string(mc->node()) + ".";
+    reg->register_counter(p + "stall_cycles", [mc] {
+      return static_cast<std::uint64_t>(mc->stall_cycles());
+    });
+    reg->register_counter(p + "requests_served",
+                          [mc] { return mc->requests_served(); });
+    reg->register_gauge(p + "reply_backlog", [mc] {
+      return static_cast<double>(mc->reply_backlog());
+    });
+    reg->register_counter(p + "l2.hits", [mc] { return mc->l2().hits(); });
+    reg->register_counter(p + "l2.misses", [mc] { return mc->l2().misses(); });
+    reg->register_counter(p + "dram.accesses",
+                          [mc] { return mc->dram().accesses(); });
+    reg->register_counter(p + "dram.row_hits",
+                          [mc] { return mc->dram().row_hits(); });
+    reg->register_gauge(p + "dram.queue_depth", [mc] {
+      return static_cast<double>(mc->dram().queue_depth());
+    });
+  }
+
+  const auto register_net = [reg](const Network* net, const std::string& p) {
+    reg->register_counter(p + "packets_injected", [net] {
+      return net->stats().packets_injected;
+    });
+    reg->register_counter(p + "packets_delivered",
+                          [net] { return net->stats().total_packets(); });
+    reg->register_counter(p + "movement",
+                          [net] { return net->movement_count(); });
+    reg->register_gauge(p + "buffered_flits", [net] {
+      return static_cast<double>(net->buffered_flits_total());
+    });
+    for (std::size_t t = 0; t < 4; ++t) {
+      reg->register_histogram(
+          p + "latency." + packet_type_name(static_cast<PacketType>(t)),
+          &net->stats().latency_hist[t]);
+    }
+  };
+  register_net(request_net_.get(), "request.");
+  if (!overlay_) {
+    register_net(reply_net_.get(), "reply.");
+    reg->register_gauge("reply.ni_occupancy_pkts", [this] {
+      double occ = 0.0;
+      for (const auto& ni : reply_inject_) {
+        occ += static_cast<double>(ni->occupancy_packets());
+      }
+      return reply_inject_.empty()
+                 ? 0.0
+                 : occ / static_cast<double>(reply_inject_.size());
+    });
+    if (const RetransmitTracker* rtx = reply_net_->retransmit()) {
+      reg->register_counter("reply.retransmitted",
+                            [rtx] { return rtx->retransmitted(); });
+      reg->register_counter("reply.recovered",
+                            [rtx] { return rtx->recovered(); });
+      reg->register_counter("reply.lost", [rtx] { return rtx->lost(); });
+    }
+  }
 }
 
 std::string GpgpuSim::diagnostic_dump(const std::string& reason) const {
@@ -378,6 +567,12 @@ std::string GpgpuSim::diagnostic_dump(const std::string& reason) const {
        << " mean_request_q=" << mc->mean_request_q() << "\n";
   }
   os << "live transactions: " << txns_.live() << "\n";
+  if (tracer_ && tracer_->size() > 0) {
+    os << "last trace events:\n" << tracer_->tail_text(16);
+  }
+  if (sampler_ && !sampler_->samples().empty()) {
+    os << "last telemetry sample: " << sampler_->last_jsonl() << "\n";
+  }
   os << "====\n";
   return os.str();
 }
@@ -394,6 +589,19 @@ Metrics GpgpuSim::collect() const {
   const NocStats& rep = overlay_ ? overlay_->stats() : reply_net_->stats();
   m.request_latency = req.mean_latency_all();
   m.reply_latency = rep.mean_latency_all();
+  const LogHistogram req_hist = req.latency_hist_all();
+  const LogHistogram rep_hist = rep.latency_hist_all();
+  m.request_latency_p50 = req_hist.p50();
+  m.request_latency_p95 = req_hist.p95();
+  m.request_latency_p99 = req_hist.p99();
+  m.reply_latency_p50 = rep_hist.p50();
+  m.reply_latency_p95 = rep_hist.p95();
+  m.reply_latency_p99 = rep_hist.p99();
+  for (std::size_t t = 0; t < 4; ++t) {
+    m.latency_p99_by_type[t] = is_reply(static_cast<PacketType>(t))
+                                   ? rep.latency_hist[t].p99()
+                                   : req.latency_hist[t].p99();
+  }
   for (std::size_t t = 0; t < 4; ++t) {
     m.flits_by_type[t] = req.flits_delivered[t] + rep.flits_delivered[t];
     m.packets_by_type[t] = req.packets_delivered[t] + rep.packets_delivered[t];

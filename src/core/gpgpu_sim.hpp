@@ -19,10 +19,16 @@
 #include "noc/ni.hpp"
 #include "noc/overlay.hpp"
 #include "noc/topology.hpp"
+#include "obs/sampler.hpp"
 #include "workloads/benchmark.hpp"
 #include "workloads/tracegen.hpp"
 
 namespace arinoc {
+
+namespace obs {
+class PacketTracer;
+class CounterRegistry;
+}
 
 /// Everything the evaluation figures need from one measured run.
 struct Metrics {
@@ -32,6 +38,17 @@ struct Metrics {
 
   double request_latency = 0.0;  ///< Mean packet latency, request network.
   double reply_latency = 0.0;    ///< Mean packet latency, reply fabric.
+
+  // ---- Tail latency (log-histogram percentiles, all packets per fabric) ----
+  double request_latency_p50 = 0.0;
+  double request_latency_p95 = 0.0;
+  double request_latency_p99 = 0.0;
+  double reply_latency_p50 = 0.0;
+  double reply_latency_p95 = 0.0;
+  double reply_latency_p99 = 0.0;
+  /// p99 latency per PacketType: request types measured on the request
+  /// network, reply types on the reply fabric.
+  std::array<double, 4> latency_p99_by_type{};
 
   std::uint64_t mc_stall_cycles = 0;  ///< Summed over MCs (Fig. 12).
 
@@ -109,6 +126,27 @@ class GpgpuSim {
   /// Outstanding memory transactions (conservation probe for tests).
   std::size_t live_txns() const { return txns_.live(); }
 
+  // ---- Observability (all optional; strictly inert when not enabled) ----
+  /// Attaches a packet-lifecycle tracer to both mesh networks and their
+  /// routers (null detaches). The DA2mesh overlay reply path carries no
+  /// trace hooks; with the overlay active only the request side is traced.
+  void attach_tracer(obs::PacketTracer* t);
+  obs::PacketTracer* tracer() const { return tracer_; }
+
+  /// Starts periodic telemetry sampling: every `interval` cycles one
+  /// TelemetrySample is recorded over the window just ended. interval == 0
+  /// disables sampling. reset_stats() clears recorded samples and
+  /// re-baselines, so warmup windows never leak into the series.
+  void enable_sampling(Cycle interval);
+  /// Records a trailing partial-window sample (call once after run()).
+  void flush_sampler();
+  const obs::TelemetrySampler* sampler() const { return sampler_.get(); }
+
+  /// Registers counter/gauge/histogram probes for every component (cores,
+  /// caches, MCs, DRAM, networks, NIs) into `reg`. Probes read live state;
+  /// register once, dump whenever.
+  void register_counters(obs::CounterRegistry* reg) const;
+
  private:
   class CcRequestPort;
   class McReplyPort;
@@ -137,6 +175,29 @@ class GpgpuSim {
   std::vector<std::unique_ptr<EjectNi>> reply_eject_;      // Per CC.
 
   std::unique_ptr<Watchdog> watchdog_;
+
+  // ---- Observability state ----
+  /// Cumulative-counter snapshot at the last sample boundary; deltas against
+  /// it turn monotone counters into per-window rates.
+  struct ObsBaseline {
+    std::uint64_t warp_instructions = 0;
+    std::uint64_t req_injected = 0;
+    std::uint64_t req_delivered = 0;
+    std::uint64_t rep_injected = 0;
+    std::uint64_t rep_delivered = 0;
+    std::uint64_t req_link_flits = 0;
+    std::uint64_t rep_link_flits = 0;
+    std::uint64_t mc_stall_cycles = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t flits_corrupted = 0;
+  };
+  ObsBaseline capture_obs_baseline() const;
+  void take_sample();
+
+  obs::PacketTracer* tracer_ = nullptr;
+  std::unique_ptr<obs::TelemetrySampler> sampler_;
+  ObsBaseline obs_base_;
+  Cycle sample_anchor_ = 0;
 
   Cycle cycle_ = 0;
   Cycle measure_start_ = 0;

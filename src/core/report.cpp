@@ -76,6 +76,16 @@ std::string metrics_to_json(const Metrics& m, int indent) {
   num("ipc", m.ipc);
   num("request_latency", m.request_latency);
   num("reply_latency", m.reply_latency);
+  num("request_latency_p50", m.request_latency_p50);
+  num("request_latency_p95", m.request_latency_p95);
+  num("request_latency_p99", m.request_latency_p99);
+  num("reply_latency_p50", m.reply_latency_p50);
+  num("reply_latency_p95", m.reply_latency_p95);
+  num("reply_latency_p99", m.reply_latency_p99);
+  num("latency_p99_read_request", m.latency_p99_by_type[0]);
+  num("latency_p99_write_request", m.latency_p99_by_type[1]);
+  num("latency_p99_read_reply", m.latency_p99_by_type[2]);
+  num("latency_p99_write_reply", m.latency_p99_by_type[3]);
   num("mc_stall_cycles", static_cast<double>(m.mc_stall_cycles));
   num("flits_read_request", static_cast<double>(m.flits_by_type[0]));
   num("flits_write_request", static_cast<double>(m.flits_by_type[1]));

@@ -27,6 +27,8 @@ std::vector<SweepCell> Sweep::run() const {
   opts.cache_enabled = cache_enabled_;
   opts.cache_dir = cache_dir_;
   opts.progress = progress_;
+  opts.sample_interval = sample_interval_;
+  opts.telemetry_dir = telemetry_dir_;
   exec::ExperimentRunner runner(base_, std::move(opts));
   const auto ran = runner.run(specs);
 
@@ -34,7 +36,7 @@ std::vector<SweepCell> Sweep::run() const {
   cells.reserve(ran.size());
   for (const auto& r : ran) {
     cells.push_back({r.point, r.scheme, r.benchmark, r.metrics, r.error,
-                     r.error_kind, r.from_cache});
+                     r.error_kind, r.from_cache, r.telemetry_path});
   }
   return cells;
 }
@@ -52,9 +54,12 @@ std::string Sweep::csv_escape(const std::string& field) {
 
 std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
   std::ostringstream os;
+  // New columns append before the trailing `error` column so positional
+  // consumers of the original prefix keep working.
   os << "point,scheme,benchmark,cycles,ipc,request_latency,reply_latency,"
         "mc_stall_cycles,reply_injection_util,reply_internal_util,"
-        "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj,error\n";
+        "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj,"
+        "reply_latency_p50,reply_latency_p95,reply_latency_p99,error\n";
   for (const SweepCell& c : cells) {
     const Metrics& m = c.metrics;
     const std::string error =
@@ -65,7 +70,9 @@ std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
        << m.mc_stall_cycles << ',' << m.reply_injection_util << ','
        << m.reply_internal_util << ',' << m.l1_hit_rate << ','
        << m.l2_hit_rate << ',' << m.dram_row_hit_rate << ','
-       << m.energy.total_nj() << ',' << csv_escape(error) << '\n';
+       << m.energy.total_nj() << ',' << m.reply_latency_p50 << ','
+       << m.reply_latency_p95 << ',' << m.reply_latency_p99 << ','
+       << csv_escape(error) << '\n';
   }
   return os.str();
 }

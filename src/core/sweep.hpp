@@ -36,6 +36,8 @@ struct SweepCell {
   std::string error_kind;  ///< "config" | "deadlock" | "livelock" |
                            ///< "invariant-violation" | "runtime".
   bool from_cache = false;
+  /// Telemetry JSONL written for this cell (sampling enabled, run ok).
+  std::string telemetry_path;
 
   bool ok() const { return error.empty(); }
 };
@@ -75,6 +77,14 @@ class Sweep {
     progress_ = on;
     return *this;
   }
+  /// Per-cell telemetry: sample every `interval` cycles and write one JSONL
+  /// series per cell into `dir` (empty = "arinoc-telemetry"). 0 disables.
+  /// Sampling cells bypass the result cache.
+  Sweep& sample(Cycle interval, std::string dir = "") {
+    sample_interval_ = interval;
+    telemetry_dir_ = std::move(dir);
+    return *this;
+  }
 
   /// Runs the full grid (points x schemes x benchmarks). Results are in
   /// grid order regardless of jobs/scheduling.
@@ -97,6 +107,8 @@ class Sweep {
   bool cache_enabled_ = false;
   std::string cache_dir_;
   bool progress_ = false;
+  Cycle sample_interval_ = 0;
+  std::string telemetry_dir_;
 };
 
 }  // namespace arinoc

@@ -23,6 +23,13 @@ ExecOptions options_from_env(bool default_cache) {
   opts.cache_enabled = default_cache;
   if (std::getenv("ARINOC_NO_CACHE") != nullptr) opts.cache_enabled = false;
   if (const char* dir = std::getenv("ARINOC_CACHE_DIR")) opts.cache_dir = dir;
+  if (const char* iv = std::getenv("ARINOC_SAMPLE_INTERVAL")) {
+    opts.sample_interval =
+        static_cast<Cycle>(std::strtoull(iv, nullptr, 10));
+  }
+  if (const char* dir = std::getenv("ARINOC_TELEMETRY_DIR")) {
+    opts.telemetry_dir = dir;
+  }
   opts.progress = ARINOC_ISATTY_STDERR();
   return opts;
 }
@@ -55,6 +62,21 @@ bool parse_exec_flags(int& argc, char** argv, ExecOptions& opts) {
       if (v == nullptr) return false;
       opts.cache_dir = v;
       opts.cache_enabled = true;
+    } else if (std::strcmp(arg, "--sample-interval") == 0) {
+      const char* v = value("--sample-interval");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--sample-interval expects a number, got '%s'\n",
+                     v);
+        return false;
+      }
+      opts.sample_interval = static_cast<Cycle>(n);
+    } else if (std::strcmp(arg, "--telemetry-dir") == 0) {
+      const char* v = value("--telemetry-dir");
+      if (v == nullptr) return false;
+      opts.telemetry_dir = v;
     } else {
       argv[out++] = argv[i];  // Not ours: keep for the caller.
     }
@@ -69,7 +91,7 @@ ExecOptions require_exec_flags(int argc, char** argv, bool default_cache) {
   if (argc > 1) {
     std::fprintf(stderr,
                  "unknown option '%s' (supported: --jobs N, --no-cache, "
-                 "--cache-dir D)\n",
+                 "--cache-dir D, --sample-interval N, --telemetry-dir D)\n",
                  argv[1]);
     std::exit(2);
   }

@@ -2,13 +2,16 @@
 // bench binaries and example drivers so every one of them speaks the same
 // dialect:
 //
-//   --jobs N        worker threads (0 = hardware concurrency)
-//   --no-cache      disable the on-disk result cache
-//   --cache-dir D   result-cache directory
+//   --jobs N             worker threads (0 = hardware concurrency)
+//   --no-cache           disable the on-disk result cache
+//   --cache-dir D        result-cache directory
+//   --sample-interval N  telemetry sample every N cycles (0 = off)
+//   --telemetry-dir D    per-cell telemetry JSONL directory
 //
 // Environment fallbacks (read first, flags override): ARINOC_JOBS,
-// ARINOC_NO_CACHE (any value), ARINOC_CACHE_DIR. Progress/ETA reporting
-// defaults to on when stderr is a terminal.
+// ARINOC_NO_CACHE (any value), ARINOC_CACHE_DIR, ARINOC_SAMPLE_INTERVAL,
+// ARINOC_TELEMETRY_DIR. Progress/ETA reporting defaults to on when stderr
+// is a terminal.
 #pragma once
 
 #include "exec/runner.hpp"

@@ -66,10 +66,18 @@ std::string serialize_metrics(const Metrics& m) {
   d("ipc", m.ipc);
   d("request_latency", m.request_latency);
   d("reply_latency", m.reply_latency);
+  d("request_latency_p50", m.request_latency_p50);
+  d("request_latency_p95", m.request_latency_p95);
+  d("request_latency_p99", m.request_latency_p99);
+  d("reply_latency_p50", m.reply_latency_p50);
+  d("reply_latency_p95", m.reply_latency_p95);
+  d("reply_latency_p99", m.reply_latency_p99);
   u("mc_stall_cycles", m.mc_stall_cycles);
   for (int i = 0; i < 4; ++i) {
     u(("flits_by_type" + std::to_string(i)).c_str(), m.flits_by_type[i]);
     u(("packets_by_type" + std::to_string(i)).c_str(), m.packets_by_type[i]);
+    d(("latency_p99_by_type" + std::to_string(i)).c_str(),
+      m.latency_p99_by_type[i]);
   }
   d("reply_injection_util", m.reply_injection_util);
   d("reply_internal_util", m.reply_internal_util);
@@ -129,6 +137,12 @@ std::optional<Metrics> deserialize_metrics(const std::string& text) {
         want_u("warp_instructions", m.warp_instructions) ||
         want_d("ipc", m.ipc) || want_d("request_latency", m.request_latency) ||
         want_d("reply_latency", m.reply_latency) ||
+        want_d("request_latency_p50", m.request_latency_p50) ||
+        want_d("request_latency_p95", m.request_latency_p95) ||
+        want_d("request_latency_p99", m.request_latency_p99) ||
+        want_d("reply_latency_p50", m.reply_latency_p50) ||
+        want_d("reply_latency_p95", m.reply_latency_p95) ||
+        want_d("reply_latency_p99", m.reply_latency_p99) ||
         want_u("mc_stall_cycles", m.mc_stall_cycles) ||
         want_d("reply_injection_util", m.reply_injection_util) ||
         want_d("reply_internal_util", m.reply_internal_util) ||
@@ -166,13 +180,15 @@ std::optional<Metrics> deserialize_metrics(const std::string& text) {
         matched = want_u(("flits_by_type" + std::to_string(i)).c_str(),
                          m.flits_by_type[i]) ||
                   want_u(("packets_by_type" + std::to_string(i)).c_str(),
-                         m.packets_by_type[i]);
+                         m.packets_by_type[i]) ||
+                  want_d(("latency_p99_by_type" + std::to_string(i)).c_str(),
+                         m.latency_p99_by_type[i]);
       }
     }
     if (!matched) return std::nullopt;  // Unknown field: stale layout.
   }
-  // 37 scalar fields + 8 array slots; anything short is a truncated entry.
-  if (fields != 45) return std::nullopt;
+  // 43 scalar fields + 12 array slots; anything short is a truncated entry.
+  if (fields != 55) return std::nullopt;
   return m;
 }
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 
@@ -63,6 +65,34 @@ void record_error(CellResult& r, std::string kind, const char* what,
   r.metrics = Metrics{};
 }
 
+/// Filesystem-safe slug for telemetry file names.
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    out += ok ? c : '-';
+  }
+  return out.empty() ? std::string("cell") : out;
+}
+
+/// Writes one cell's telemetry series; returns the path, or "" on failure.
+std::string write_telemetry(const std::string& dir, const CellResult& r,
+                            const std::string& jsonl) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const std::string path = dir + "/" + sanitize(r.point) + "_" +
+                           sanitize(r.scheme) + "_" + sanitize(r.benchmark) +
+                           ".jsonl";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return {};
+  out << jsonl;
+  return out ? path : std::string{};
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(Config base, ExecOptions opts)
@@ -114,7 +144,12 @@ std::vector<CellResult> ExperimentRunner::run(
         const std::string key = cache_key_string(
             configs[i], r.scheme, r.benchmark,
             cells[i].da2mesh ? "da2mesh" : "mesh");
-        if (auto cached = cache.load(key)) {
+        // Sampling cells always simulate: a cache hit would return the
+        // aggregate Metrics but skip producing the telemetry series.
+        const bool sampling = opts_.sample_interval > 0;
+        std::optional<Metrics> cached;
+        if (!sampling) cached = cache.load(key);
+        if (cached) {
           r.metrics = *cached;
           r.from_cache = true;
         } else {
@@ -125,9 +160,19 @@ std::vector<CellResult> ExperimentRunner::run(
                                           r.benchmark + "'");
             }
             GpgpuSim sim(configs[i], *traits, cells[i].da2mesh);
+            if (sampling) sim.enable_sampling(opts_.sample_interval);
             sim.run_with_warmup();
+            if (sampling) sim.flush_sampler();
             r.metrics = sim.collect();
-            cache.store(key, r.metrics);
+            if (sampling) {
+              const std::string dir = opts_.telemetry_dir.empty()
+                                          ? std::string("arinoc-telemetry")
+                                          : opts_.telemetry_dir;
+              r.telemetry_path =
+                  write_telemetry(dir, r, sim.sampler()->to_jsonl());
+            } else {
+              cache.store(key, r.metrics);
+            }
           } catch (const WatchdogTrip& trip) {
             record_error(r, watchdog_trip_name(trip.kind()), trip.what(),
                          trip.exit_status(), trip.dump());

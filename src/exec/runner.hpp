@@ -33,6 +33,11 @@ struct ExecOptions {
   bool cache_enabled = false;
   std::string cache_dir;      ///< Empty = ResultCache::default_dir().
   bool progress = false;      ///< Live [done/total] + ETA lines on stderr.
+  /// Telemetry: sample every N cycles and write each cell's series as JSONL
+  /// into `telemetry_dir`. 0 (default) = no sampling. Sampling cells bypass
+  /// the result cache — a cache hit would skip producing the series.
+  Cycle sample_interval = 0;
+  std::string telemetry_dir;  ///< Empty = "arinoc-telemetry".
 };
 
 /// One grid cell: (point label, scheme, benchmark) plus an optional config
@@ -58,6 +63,8 @@ struct CellResult {
   std::string error_detail;  ///< Watchdog diagnostic dump, when available.
   int exit_status = 0;       ///< Matches the arinoc_sim exit-code contract.
   bool from_cache = false;
+  /// Telemetry JSONL written for this cell (sampling enabled, run ok).
+  std::string telemetry_path;
 
   bool ok() const { return error.empty(); }
 };

@@ -5,6 +5,7 @@
 
 #include "noc/network.hpp"
 #include "noc/ni.hpp"
+#include "obs/trace.hpp"
 
 namespace arinoc {
 
@@ -197,6 +198,9 @@ void RetransmitTracker::try_reinject(std::uint64_t key, Entry& e, Cycle now) {
   net_->arena().at(id).rtx = key;
   if (!ni_it->second->try_accept(id, now)) {
     net_->abandon_packet(id);  // NI full; retry next cycle.
+  } else if (obs::PacketTracer* t = net_->tracer()) {
+    t->record(obs::TraceEventKind::kRetransmit, net_->tracer_net(), now, id,
+              e.type, e.src, static_cast<int>(e.retries));
   }
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace arinoc {
 
 Network::Network(const NetworkParams& params, const Mesh* mesh)
@@ -71,6 +73,10 @@ void Network::finish_packet(PacketId id, Cycle now) {
   Packet& pkt = arena_.at(id);
   pkt.ejected = now;
   stats_.record_delivery(pkt, now);
+  if (tracer_) {
+    tracer_->record(obs::TraceEventKind::kDeliver, tracer_net_, now, id,
+                    pkt.type, pkt.dest, -1);
+  }
   arena_.retire(id);
 }
 
@@ -114,6 +120,16 @@ void Network::step(Cycle now) {
       if (fault_ && fault_->corrupt_link(n, of.out_dir)) {
         ev.flit.corrupted = true;
         ++stats_.flits_corrupted;
+        if (tracer_) {
+          tracer_->record(obs::TraceEventKind::kCorrupt, tracer_net_, now,
+                          ev.flit.pkt, arena_.at(ev.flit.pkt).type, n,
+                          of.out_dir);
+        }
+      }
+      if (tracer_ && ev.flit.head) {
+        tracer_->record(obs::TraceEventKind::kLinkHop, tracer_net_, now,
+                        ev.flit.pkt, arena_.at(ev.flit.pkt).type, n,
+                        of.out_dir);
       }
       flit_ring_[send_slot].push_back(ev);
     }
@@ -174,7 +190,11 @@ RxOutcome Network::classify_rx(PacketId id, bool corrupted, Cycle now) {
 }
 
 void Network::drop_packet(PacketId id, Cycle now, RxOutcome why) {
-  (void)now;
+  if (tracer_) {
+    const Packet& pkt = arena_.at(id);
+    tracer_->record(obs::TraceEventKind::kDrop, tracer_net_, now, id, pkt.type,
+                    pkt.dest, static_cast<int>(why));
+  }
   switch (why) {
     case RxOutcome::kCorrupt:
       ++stats_.packets_corrupted;
@@ -196,6 +216,26 @@ std::uint64_t Network::credits_lost_total() const {
   std::uint64_t total = 0;
   for (const std::uint32_t c : credits_lost_) total += c;
   return total;
+}
+
+void Network::set_tracer(obs::PacketTracer* t, std::uint8_t net) {
+  tracer_ = t;
+  tracer_net_ = net;
+  for (auto& r : routers_) r->set_tracer(t, net);
+}
+
+std::uint64_t Network::internal_flits_total() const {
+  std::uint64_t flits = 0;
+  for (const auto& r : routers_) {
+    for (int dir = 0; dir < kNumDirections; ++dir) flits += r->flits_sent(dir);
+  }
+  return flits;
+}
+
+std::uint64_t Network::buffered_flits_total() const {
+  std::uint64_t flits = 0;
+  for (const auto& r : routers_) flits += r->buffered_flits_total();
+  return flits;
 }
 
 std::uint64_t Network::movement_count() const {

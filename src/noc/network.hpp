@@ -17,6 +17,10 @@
 
 namespace arinoc {
 
+namespace obs {
+class PacketTracer;
+}
+
 /// Per-network geometry/behaviour knobs derived from Config by the caller
 /// (request and reply networks differ in link width and NI/router features).
 struct NetworkParams {
@@ -113,6 +117,19 @@ class Network {
                                     const std::vector<NodeId>& nodes) const;
   void reset_stats();
 
+  // ---- Observability ----
+  /// Attaches a packet-lifecycle tracer to this network and all its routers
+  /// (null detaches). `net` tags the emitted events (0 = request, 1 = reply).
+  void set_tracer(obs::PacketTracer* t, std::uint8_t net);
+  obs::PacketTracer* tracer() const { return tracer_; }
+  std::uint8_t tracer_net() const { return tracer_net_; }
+
+  std::uint32_t num_internal_links() const { return num_internal_links_; }
+  /// Total flits sent over router-to-router links (cumulative).
+  std::uint64_t internal_flits_total() const;
+  /// Flits currently buffered in router input VCs (instantaneous).
+  std::uint64_t buffered_flits_total() const;
+
   /// Verifies the credit-conservation invariant on every link: upstream
   /// credits + downstream buffered flits + in-flight flits + in-flight
   /// credits == VC depth. Returns an empty string, or a description of the
@@ -153,6 +170,9 @@ class Network {
   std::unique_ptr<RetransmitTracker> rtx_;
   // Credits destroyed per (node, dir, vc); sized only under credit loss.
   std::vector<std::uint32_t> credits_lost_;
+  // Observability (null unless attached; a pure observer).
+  obs::PacketTracer* tracer_ = nullptr;
+  std::uint8_t tracer_net_ = 0;
 };
 
 }  // namespace arinoc

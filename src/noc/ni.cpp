@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace arinoc {
 
 namespace {
@@ -23,6 +25,10 @@ InjectNi::InjectNi(Network* net, NodeId node) : net_(net), node_(node) {}
 void InjectNi::finish_accept(PacketId id, Cycle now) {
   net_->arena().at(id).created = now;
   if (RetransmitTracker* rtx = net_->retransmit()) rtx->on_accept(id, now);
+  if (obs::PacketTracer* t = net_->tracer()) {
+    t->record(obs::TraceEventKind::kNiEnqueue, net_->tracer_net(), now, id,
+              net_->arena().at(id).type, node_, -1);
+  }
 }
 
 // ---------------------------------------------------------------- Baseline
@@ -281,6 +287,10 @@ void EjectNi::cycle(Cycle now) {
     if (part.have == pkt.num_flits) {
       const bool corrupted = part.corrupted;
       partial_.erase(f.pkt);
+      if (obs::PacketTracer* t = net_->tracer()) {
+        t->record(obs::TraceEventKind::kEject, net_->tracer_net(), now, f.pkt,
+                  pkt.type, node_, corrupted ? 1 : 0);
+      }
       // CRC check + duplicate suppression happen here, at reassembly.
       const RxOutcome outcome = net_->classify_rx(f.pkt, corrupted, now);
       if (outcome == RxOutcome::kDeliver) {

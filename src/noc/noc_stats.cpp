@@ -5,6 +5,7 @@ namespace arinoc {
 void NocStats::record_delivery(const Packet& pkt, Cycle now) {
   const auto idx = static_cast<std::size_t>(pkt.type);
   latency[idx].add(static_cast<double>(now - pkt.created));
+  latency_hist[idx].add(static_cast<double>(now - pkt.created));
   if (pkt.injected >= pkt.created) {
     ni_wait.add(static_cast<double>(pkt.injected - pkt.created));
     net_transit.add(static_cast<double>(now - pkt.injected));
@@ -15,6 +16,7 @@ void NocStats::record_delivery(const Packet& pkt, Cycle now) {
 
 void NocStats::reset() {
   for (auto& a : latency) a.reset();
+  for (auto& h : latency_hist) h.reset();
   ni_wait.reset();
   net_transit.reset();
   flits_delivered = {};
@@ -34,6 +36,12 @@ double NocStats::mean_latency_all() const {
     n += a.count();
   }
   return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+LogHistogram NocStats::latency_hist_all() const {
+  LogHistogram all;
+  for (const auto& h : latency_hist) all.merge(h);
+  return all;
 }
 
 }  // namespace arinoc

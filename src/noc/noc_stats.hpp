@@ -14,6 +14,9 @@ namespace arinoc {
 struct NocStats {
   /// Latency from NI enqueue to tail ejection, indexed by PacketType.
   std::array<Accumulator, 4> latency;
+  /// The same latency samples as log-scale histograms, for tail percentiles
+  /// (p50/p95/p99). Indexed by PacketType.
+  std::array<LogHistogram, 4> latency_hist;
   /// Decomposition: time waiting in the source NI (enqueue -> first flit
   /// into the router) and time in the network (injection -> tail ejection).
   Accumulator ni_wait;
@@ -47,6 +50,9 @@ struct NocStats {
   }
   /// Mean latency over all delivered packets.
   double mean_latency_all() const;
+  /// Latency histogram merged over all packet types (tail percentiles across
+  /// the whole network).
+  LogHistogram latency_hist_all() const;
 };
 
 }  // namespace arinoc

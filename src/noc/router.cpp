@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace arinoc {
 
 namespace {
@@ -81,7 +83,14 @@ void Router::inject_flit(std::uint32_t ip, std::uint32_t vc, const Flit& flit,
   InputVC& v = ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc));
   assert(!v.buf.full() && "injection overflow");
   v.buf.push(flit);
-  if (flit.head) arena_->at(flit.pkt).injected = now;
+  if (flit.head) {
+    arena_->at(flit.pkt).injected = now;
+    if (tracer_) {
+      tracer_->record(obs::TraceEventKind::kInject, tracer_net_, now, flit.pkt,
+                      arena_->at(flit.pkt).type, params_.node,
+                      static_cast<int>(vc));
+    }
+  }
   ++injected_flit_count_;
 }
 
@@ -232,6 +241,10 @@ void Router::vc_alloc_pass(Cycle now, std::uint32_t wanted_priority,
       v.out_port = got_port;
       v.out_vc = got_vc;
       v.state = InputVC::State::kActive;
+      if (tracer_) {
+        tracer_->record(obs::TraceEventKind::kVcAlloc, tracer_net_, now,
+                        v.buf.front().pkt, pkt.type, params_.node, got_port);
+      }
     }
   }
 }

@@ -26,6 +26,10 @@
 
 namespace arinoc {
 
+namespace obs {
+class PacketTracer;
+}
+
 struct RouterParams {
   NodeId node = 0;
   std::uint32_t num_vcs = 4;
@@ -114,6 +118,20 @@ class Router {
     return output_blocked_[static_cast<std::size_t>(dir)];
   }
   std::uint32_t vc_depth_flits() const { return params_.vc_depth_flits; }
+  /// Flits currently buffered across every input VC (direction + injection).
+  std::size_t buffered_flits_total() const {
+    std::size_t n = 0;
+    for (const auto& v : input_vcs_) n += v.buf.size();
+    return n;
+  }
+
+  /// Attaches a packet-lifecycle tracer (null detaches). The tracer is a
+  /// pure observer: hooks fire next to existing bookkeeping and never alter
+  /// router state. `net` tags events with the owning network (0 = request).
+  void set_tracer(obs::PacketTracer* t, std::uint8_t net) {
+    tracer_ = t;
+    tracer_net_ = net;
+  }
 
   // ---- Stats ----
   std::uint64_t flits_sent(int out_dir) const { return out_flit_count_[static_cast<std::size_t>(out_dir)]; }
@@ -193,6 +211,9 @@ class Router {
   std::vector<std::size_t> input_rr_;            // per input port, over VCs
   std::vector<PriorityArbiter> output_arb_;      // per output port
   std::size_t va_rr_ = 0;                        // over all input VCs
+
+  obs::PacketTracer* tracer_ = nullptr;
+  std::uint8_t tracer_net_ = 0;
 
   // Stats.
   std::uint64_t out_flit_count_[kNumDirections + 1] = {};

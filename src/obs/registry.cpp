@@ -1,0 +1,52 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace arinoc::obs {
+
+std::uint64_t CounterRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second();
+}
+
+double CounterRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second();
+}
+
+std::string CounterRegistry::to_json() const {
+  // Merge the three maps into one name-sorted object. Names are generated
+  // internally (no quoting hazards), values are numbers, so the JSON can be
+  // assembled directly.
+  std::map<std::string, std::string> entries;
+  char buf[256];
+  for (const auto& [name, fn] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(fn()));
+    entries[name] = buf;
+  }
+  for (const auto& [name, fn] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%.6g", fn());
+    entries[name] = buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"mean\":%.6g,\"p50\":%.6g,"
+                  "\"p95\":%.6g,\"p99\":%.6g,\"max\":%.6g}",
+                  static_cast<unsigned long long>(h->count()), h->mean(),
+                  h->p50(), h->p95(), h->p99(), h->max());
+    entries[name] = buf;
+  }
+  std::ostringstream os;
+  os << "{";
+  const char* sep = "";
+  for (const auto& [name, value] : entries) {
+    os << sep << "\n  \"" << name << "\": " << value;
+    sep = ",";
+  }
+  os << "\n}";
+  return os.str();
+}
+
+}  // namespace arinoc::obs
