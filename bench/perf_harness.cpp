@@ -1,0 +1,176 @@
+// Simulator-throughput harness for the activity-driven core.
+//
+// Runs a small grid of (workload, scheme, fabric) cells twice each — once
+// with --no-activity-equivalent always-on stepping, once with activity-driven
+// stepping — times both, and byte-compares the metrics JSON of the two runs.
+// Any divergence is a missed-wake/catch-up bug and fails the harness (exit
+// 1): the speed numbers of a wrong simulator are meaningless.
+//
+// Usage:
+//   perf_harness [--quick] [--out <file>]
+//
+//   --quick   shorter runs (CI smoke); full runs give steadier numbers
+//   --out     output JSON path (default: BENCH_throughput.json)
+//
+// Output JSON: one object per cell with cycles/sec for both modes and the
+// activity/always-on speedup, plus the geometric-mean speedup over all
+// cells. See docs/performance.md for how to read it.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/gpgpu_sim.hpp"
+#include "core/report.hpp"
+#include "workloads/benchmark.hpp"
+
+using namespace arinoc;
+
+namespace {
+
+struct Cell {
+  std::string name;       ///< Short label ("low-inj", "saturated", ...).
+  std::string workload;
+  Scheme scheme;
+  bool da2mesh = false;
+  bool fault = false;
+};
+
+struct CellResult {
+  Cell cell;
+  Cycle cycles = 0;
+  double always_on_cps = 0.0;  ///< Simulated cycles per wall-clock second.
+  double activity_cps = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+Config cell_config(const Cell& cell, bool quick) {
+  Config cfg = apply_scheme(make_base_config(), cell.scheme);
+  cfg.warmup_cycles = quick ? 500 : 2000;
+  cfg.run_cycles = quick ? 8000 : 40000;
+  cfg.seed = derive_cell_seed(cfg.seed, cell.workload);
+  if (cell.fault) {
+    // Corruption only — the campaign ext_fault_resilience certifies
+    // deadlock-free. Stall/credit-loss rates that look mild on short runs
+    // genuinely deadlock a saturated reply network at this length (also in
+    // always-on mode); that is the watchdog's test to own, not a
+    // throughput cell.
+    cfg.fault_corrupt_rate = 1e-3;
+  }
+  return cfg;
+}
+
+/// One timed simulation; returns (metrics JSON, cycles/sec).
+std::pair<std::string, double> timed_run(const Cell& cell, Config cfg,
+                                         bool activity) {
+  cfg.activity_driven = activity;
+  GpgpuSim sim(cfg, *find_benchmark(cell.workload), cell.da2mesh);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_with_warmup();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double total =
+      static_cast<double>(cfg.warmup_cycles + cfg.run_cycles);
+  return {metrics_to_json(sim.collect()), total / std::max(secs, 1e-9)};
+}
+
+CellResult run_cell(const Cell& cell, bool quick) {
+  const Config cfg = cell_config(cell, quick);
+  CellResult r;
+  r.cell = cell;
+  r.cycles = cfg.warmup_cycles + cfg.run_cycles;
+  const auto always_on = timed_run(cell, cfg, /*activity=*/false);
+  const auto activity = timed_run(cell, cfg, /*activity=*/true);
+  r.always_on_cps = always_on.second;
+  r.activity_cps = activity.second;
+  r.speedup = r.activity_cps / r.always_on_cps;
+  r.identical = always_on.first == activity.first;
+  return r;
+}
+
+std::string json_escape_name(const Cell& c) {
+  std::string fabric = c.da2mesh ? "da2mesh" : "mesh";
+  if (c.fault) fabric += "+fault";
+  return fabric;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_harness [--quick] [--out <file>]\n");
+      return 2;
+    }
+  }
+
+  // Grid: injection rate is the lever activity gating responds to, so the
+  // cells span near-idle through saturated, plus the fault and overlay
+  // configurations whose wake edges are easiest to get wrong.
+  const std::vector<Cell> cells = {
+      {"low-inj-myocyte", "myocyte", Scheme::kAdaARI},
+      {"low-inj-matrixMul", "matrixMul", Scheme::kAdaBaseline},
+      {"mid-inj-hotspot", "hotspot", Scheme::kAdaMultiPort},
+      {"saturated-bfs", "bfs", Scheme::kAdaARI},
+      {"fault-bfs", "bfs", Scheme::kAdaARI, /*da2mesh=*/false, /*fault=*/true},
+      {"overlay-hotspot", "hotspot", Scheme::kAdaARI, /*da2mesh=*/true},
+  };
+
+  std::vector<CellResult> results;
+  bool all_identical = true;
+  for (const Cell& cell : cells) {
+    std::printf("%-20s %-10s %-14s ...", cell.name.c_str(),
+                cell.workload.c_str(), scheme_name(cell.scheme));
+    std::fflush(stdout);
+    const CellResult r = run_cell(cell, quick);
+    std::printf(" %9.0f -> %9.0f cyc/s  (%.2fx)%s\n", r.always_on_cps,
+                r.activity_cps, r.speedup,
+                r.identical ? "" : "  ** METRICS DIVERGED **");
+    all_identical = all_identical && r.identical;
+    results.push_back(r);
+  }
+
+  double log_sum = 0.0;
+  for (const CellResult& r : results) log_sum += std::log(r.speedup);
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(results.size()));
+  std::printf("geomean speedup: %.2fx\n", geomean);
+
+  std::ostringstream js;
+  js << "{\n  \"quick\": " << (quick ? "true" : "false")
+     << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    js << "    {\"name\": \"" << r.cell.name << "\", \"workload\": \""
+       << r.cell.workload << "\", \"scheme\": \""
+       << scheme_name(r.cell.scheme) << "\", \"fabric\": \""
+       << json_escape_name(r.cell) << "\", \"cycles\": " << r.cycles
+       << ", \"always_on_cps\": " << std::llround(r.always_on_cps)
+       << ", \"activity_cps\": " << std::llround(r.activity_cps)
+       << ", \"speedup\": " << r.speedup << ", \"bit_identical\": "
+       << (r.identical ? "true" : "false") << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n  \"geomean_speedup\": " << geomean << "\n}\n";
+  std::ofstream(out) << js.str();
+  std::printf("wrote %s\n", out.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: activity-driven metrics diverged from always-on\n");
+    return 1;
+  }
+  return 0;
+}

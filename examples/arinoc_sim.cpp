@@ -53,6 +53,11 @@
 //     --fault-seed <n>        fault RNG stream seed    (default: 12345)
 //     --no-recovery           disable CRC drop + ACK/NACK retransmission
 //
+//   Simulation core:
+//     --no-activity           step every component every cycle instead of
+//                             only active ones (bit-identical results,
+//                             slower; see docs/performance.md)
+//
 //   Watchdog (on by default):
 //     --no-watchdog           disable deadlock/livelock detection
 //     --watchdog-deadlock <K> no-movement window        (default: 5000)
@@ -284,6 +289,8 @@ int main(int argc, char** argv) {
       cfg.fault_seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-recovery") {
       cfg.fault_recovery = false;
+    } else if (arg == "--no-activity") {
+      cfg.activity_driven = false;
     } else if (arg == "--no-watchdog") {
       cfg.watchdog_enabled = false;
     } else if (arg == "--watchdog-deadlock") {

@@ -131,6 +131,12 @@ struct Config {
   Cycle warmup_cycles = 2000;
   Cycle run_cycles = 20000;
   std::uint64_t seed = 1;
+  /// Step only components that can do work this cycle (active-set gating).
+  /// Bit-identical to always-on stepping — every metric, counter, trace
+  /// event, and RNG draw is unchanged — so it is deliberately excluded from
+  /// canonical_string(): cached results are valid across both modes. Turn
+  /// off with --no-activity (arinoc_sim) to cross-check or bisect.
+  bool activity_driven = true;
 
   // ---- Fault injection & recovery (robustness subsystem) ----
   // Per-link per-cycle probabilities; all zero (the default) keeps the

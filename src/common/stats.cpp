@@ -95,4 +95,16 @@ std::uint32_t ClockRatio::ticks_this_cycle() {
   return ticks;
 }
 
+std::uint64_t ClockRatio::ticks_for(std::uint64_t cycles) {
+  std::uint64_t total = 0;
+  while (cycles > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(cycles, 1ull << 28);
+    accum_ += step_q32_ * chunk;
+    total += accum_ >> 32;
+    accum_ &= 0xffffffffull;
+    cycles -= chunk;
+  }
+  return total;
+}
+
 }  // namespace arinoc

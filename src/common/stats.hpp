@@ -17,6 +17,16 @@ class Accumulator {
     sum_ += x;
     ++count_;
   }
+  /// Batch form of `n` consecutive add(0.0) calls, bit-identical to the
+  /// loop: sum_ += 0.0 never changes a non-negative sum, so only min/max
+  /// and the count move. Used by activity-driven catch-up for components
+  /// whose skipped cycles would all have sampled an empty queue.
+  void add_zeros(std::uint64_t n) {
+    if (n == 0) return;
+    if (count_ == 0 || 0.0 < min_) min_ = 0.0;
+    if (count_ == 0 || 0.0 > max_) max_ = 0.0;
+    count_ += n;
+  }
   void reset() { *this = Accumulator{}; }
 
   std::uint64_t count() const { return count_; }
@@ -107,6 +117,13 @@ class ClockRatio {
 
   /// Number of fast-domain ticks to execute for this slow-domain cycle.
   std::uint32_t ticks_this_cycle();
+
+  /// Total ticks for `cycles` consecutive slow-domain cycles, leaving the
+  /// accumulator in exactly the state `cycles` sequential
+  /// ticks_this_cycle() calls would. Exact by the Q32 invariant
+  /// a0 + k*step = ticks*2^32 + a_k, chunked to stay clear of uint64
+  /// overflow for any ratio below 2^34/2^32 = 4 per chunk of 2^28 cycles.
+  std::uint64_t ticks_for(std::uint64_t cycles);
 
   void reset() { accum_ = 0; }
 

@@ -73,6 +73,7 @@ namespace {
 
 NetworkParams request_params(const Config& cfg) {
   NetworkParams p;
+  p.activity_driven = cfg.activity_driven;
   p.name = "request";
   p.link_width_bits = cfg.link_width_bits_request;
   p.num_vcs = cfg.num_vcs;
@@ -91,6 +92,7 @@ NetworkParams request_params(const Config& cfg) {
 
 NetworkParams reply_params(const Config& cfg) {
   NetworkParams p;
+  p.activity_driven = cfg.activity_driven;
   p.name = "reply";
   p.link_width_bits = cfg.link_width_bits_reply;
   p.num_vcs = cfg.num_vcs;
@@ -216,31 +218,122 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
     wp.audit_interval = cfg.watchdog_audit_interval;
     watchdog_ = std::make_unique<Watchdog>(wp);
   }
+
+  // Activity-driven stepping: register every sleepable component in its
+  // subsystem's active set and wire the wake edges (reply delivery -> core,
+  // request delivery -> MC, packet accept -> injection NI, ejection-buffer
+  // push -> ejection NI; router wake edges live inside Network). Everything
+  // starts awake; idle components fall asleep after their first step.
+  activity_ = cfg.activity_driven;
+  if (activity_) {
+    core_act_.resize(cores_.size());
+    req_inj_act_.resize(request_inject_.size());
+    rep_ej_act_.resize(reply_eject_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      cores_[i]->set_activity_hook(&core_act_, i);
+      request_inject_[i]->set_activity_hook(&req_inj_act_, i);
+      if (!overlay_) {
+        reply_net_->set_eject_hook(cc_nodes[i], &rep_ej_act_, i);
+      }
+    }
+    mc_act_.resize(mcs_.size());
+    rep_inj_act_.resize(reply_inject_.size());
+    req_ej_act_.resize(request_eject_.size());
+    for (std::size_t i = 0; i < mcs_.size(); ++i) {
+      mcs_[i]->set_activity_hook(&mc_act_, i);
+      if (reply_inject_[i]) {
+        reply_inject_[i]->set_activity_hook(&rep_inj_act_, i);
+      }
+      request_net_->set_eject_hook(mc_nodes[i], &req_ej_act_, i);
+    }
+    core_act_.wake_all();
+    mc_act_.wake_all();
+    req_inj_act_.wake_all();
+    rep_inj_act_.wake_all();
+    req_ej_act_.wake_all();
+    rep_ej_act_.wake_all();
+  }
 }
 
 GpgpuSim::~GpgpuSim() = default;
 
 void GpgpuSim::step() {
   const Cycle now = cycle_;
-  // 1) Cores generate and emit traffic (into request NIs via their ports).
-  for (auto& core : cores_) core->cycle(now);
-  // 2) MCs service requests, tick DRAM, forward replies into reply NIs.
-  for (auto& mc : mcs_) mc->cycle(now);
-  // 3) Injection NIs move flits into the routers.
-  for (auto& ni : request_inject_) ni->cycle(now);
-  if (!overlay_) {
-    for (auto& ni : reply_inject_) ni->cycle(now);
-  }
-  // 4) Networks advance one cycle.
-  request_net_->step(now);
-  if (overlay_) {
-    overlay_->step(now);
+  if (activity_) {
+    // Activity-driven stepping: each phase drains its active set in
+    // ascending index order — the same order as the always-on loops — so
+    // every side effect (arena allocation, trace events, RNG draws) lands
+    // in the identical sequence. A component re-wakes itself when its own
+    // sleep predicate fails after stepping; external wake edges (deliver,
+    // finish_accept, ejection-buffer push) cover everything else.
+    // 1) Cores generate and emit traffic (into request NIs via their ports).
+    core_act_.drain_sorted([&](std::size_t i) {
+      cores_[i]->cycle(now);
+      if (!cores_[i]->can_sleep()) core_act_.wake(i);
+    });
+    // 2) MCs service requests, tick DRAM, forward replies into reply NIs.
+    mc_act_.drain_sorted([&](std::size_t i) {
+      mcs_[i]->cycle(now);
+      if (!mcs_[i]->can_sleep()) mc_act_.wake(i);
+    });
+    // 3) Injection NIs move flits into the routers. Accepts from phases 1-2
+    //    woke these sets before this drain, so same-cycle supply matches the
+    //    always-on schedule; retransmission re-injections (phase 4) wake the
+    //    NI for the next cycle, which is also when always-on would move them.
+    req_inj_act_.drain_sorted([&](std::size_t i) {
+      request_inject_[i]->cycle(now);
+      if (!request_inject_[i]->idle()) req_inj_act_.wake(i);
+    });
+    if (!overlay_) {
+      rep_inj_act_.drain_sorted([&](std::size_t i) {
+        reply_inject_[i]->cycle(now);
+        if (!reply_inject_[i]->idle()) rep_inj_act_.wake(i);
+      });
+    }
+    // 4) Networks advance one cycle (router active sets live inside).
+    request_net_->step(now);
+    if (overlay_) {
+      overlay_->step(now);
+    } else {
+      reply_net_->step(now);
+    }
+    // 5) Ejection NIs drain router ejection buffers into the sinks. The
+    //    routers woke these sets when ejecting (phase 4, same cycle); a
+    //    backlog the NI could not clear (drain rate, sink backpressure)
+    //    keeps it awake.
+    req_ej_act_.drain_sorted([&](std::size_t i) {
+      request_eject_[i]->cycle(now);
+      if (request_net_->router(mesh_.mc_nodes()[i]).has_ejected_flit()) {
+        req_ej_act_.wake(i);
+      }
+    });
+    rep_ej_act_.drain_sorted([&](std::size_t i) {
+      reply_eject_[i]->cycle(now);
+      if (reply_net_->router(mesh_.cc_nodes()[i]).has_ejected_flit()) {
+        rep_ej_act_.wake(i);
+      }
+    });
   } else {
-    reply_net_->step(now);
+    // 1) Cores generate and emit traffic (into request NIs via their ports).
+    for (auto& core : cores_) core->cycle(now);
+    // 2) MCs service requests, tick DRAM, forward replies into reply NIs.
+    for (auto& mc : mcs_) mc->cycle(now);
+    // 3) Injection NIs move flits into the routers.
+    for (auto& ni : request_inject_) ni->cycle(now);
+    if (!overlay_) {
+      for (auto& ni : reply_inject_) ni->cycle(now);
+    }
+    // 4) Networks advance one cycle.
+    request_net_->step(now);
+    if (overlay_) {
+      overlay_->step(now);
+    } else {
+      reply_net_->step(now);
+    }
+    // 5) Ejection NIs drain router ejection buffers into the sinks.
+    for (auto& ni : request_eject_) ni->cycle(now);
+    for (auto& ni : reply_eject_) ni->cycle(now);
   }
-  // 5) Ejection NIs drain router ejection buffers into the sinks.
-  for (auto& ni : request_eject_) ni->cycle(now);
-  for (auto& ni : reply_eject_) ni->cycle(now);
   // 6) Sampling.
   if (!overlay_) {
     for (auto& ni : reply_inject_) ni->sample();
@@ -288,6 +381,9 @@ void GpgpuSim::step() {
       std::ostringstream summary;
       summary << "watchdog: " << watchdog_trip_name(kind) << " at cycle "
               << cycle_ << " — " << watchdog_->detail();
+      // The dump reads deferred stats (MC queue-occupancy means): flush the
+      // bookkeeping of sleeping components first.
+      sync_activity();
       throw WatchdogTrip(kind, summary.str(),
                          diagnostic_dump(summary.str()));
     }
@@ -296,6 +392,9 @@ void GpgpuSim::step() {
 
 void GpgpuSim::run(Cycle cycles) {
   for (Cycle i = 0; i < cycles; ++i) step();
+  // Flush deferred bookkeeping so any observer reading after run() (collect,
+  // counter dumps, diagnostic probes) sees always-on-identical state.
+  sync_activity();
 }
 
 void GpgpuSim::run_with_warmup() {
@@ -304,7 +403,15 @@ void GpgpuSim::run_with_warmup() {
   run(cfg_.run_cycles);
 }
 
+void GpgpuSim::sync_activity() {
+  if (!activity_) return;
+  for (auto& c : cores_) c->sync_idle(cycle_);
+  for (auto& m : mcs_) m->sync_idle(cycle_);
+}
+
 void GpgpuSim::reset_stats() {
+  // Book slept cycles against the epoch being closed, not the one starting.
+  sync_activity();
   request_net_->reset_stats();
   reply_net_->reset_stats();
   if (overlay_) overlay_->stats().reset();

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "core/energy.hpp"
@@ -101,6 +102,13 @@ class GpgpuSim {
   /// Warmup for cfg.warmup_cycles, reset statistics, run cfg.run_cycles.
   void run_with_warmup();
 
+  /// Flushes deferred activity bookkeeping (idle-cycle stall counts and
+  /// occupancy samples of sleeping cores/MCs) up to the current cycle, so
+  /// every observer reads the same state always-on stepping would produce.
+  /// Called automatically at the end of run(), before reset_stats(), and on
+  /// a watchdog trip; a no-op in always-on mode. Idempotent.
+  void sync_activity();
+
   /// Structured diagnostic snapshot: live packets, router VC occupancy, MC
   /// stall state, blocked links, retransmission state. Used by the watchdog
   /// trip path; callable any time.
@@ -175,6 +183,18 @@ class GpgpuSim {
   std::vector<std::unique_ptr<EjectNi>> reply_eject_;      // Per CC.
 
   std::unique_ptr<Watchdog> watchdog_;
+
+  // ---- Activity-driven stepping (cfg.activity_driven) ----
+  /// One active set per stepped subsystem; each is drained once per cycle
+  /// in ascending index order (== the order of the always-on loops).
+  /// Network-internal router sets live inside the Network objects.
+  bool activity_ = false;
+  ActiveSet core_act_;      // Index: core i.
+  ActiveSet mc_act_;        // Index: MC i.
+  ActiveSet req_inj_act_;   // Index: CC i (request_inject_[i]).
+  ActiveSet rep_inj_act_;   // Index: MC i (reply_inject_[i]).
+  ActiveSet req_ej_act_;    // Index: MC i (request_eject_[i]).
+  ActiveSet rep_ej_act_;    // Index: CC i (reply_eject_[i]).
 
   // ---- Observability state ----
   /// Cumulative-counter snapshot at the last sample boundary; deltas against

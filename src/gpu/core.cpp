@@ -79,6 +79,10 @@ bool SimtCore::execute_mem(Warp& warp, Cycle now) {
 }
 
 void SimtCore::cycle(Cycle now) {
+  sync_idle(now);  // Replay slept stall cycles; a zero gap in always-on mode.
+  next_cycle_ = now + 1;
+  can_sleep_ = false;
+
   drain_requests(now);
 
   if (now < issue_free_at_) return;  // Warp draining through the SIMD lanes.
@@ -132,6 +136,11 @@ void SimtCore::cycle(Cycle now) {
   }
   if (!any) {
     ++issue_stalls_;
+    // Only warp-unblocking events (replies via deliver) can change this
+    // outcome, and only if no request is waiting on NI backpressure —
+    // staging already happened for every unblocked warp, so re-running this
+    // cycle with unchanged state is pure stall counting.
+    can_sleep_ = out_q_.empty();
     return;
   }
 
@@ -149,6 +158,7 @@ void SimtCore::cycle(Cycle now) {
 }
 
 void SimtCore::deliver(const Packet& pkt, Cycle /*now*/) {
+  if (act_set_) act_set_->wake(act_idx_);
   const TxnId txn = pkt.txn;
   if (pkt.type == PacketType::kReadReply) {
     const MemTxn& t = txns_->at(txn);

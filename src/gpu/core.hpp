@@ -7,6 +7,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "gpu/instr.hpp"
@@ -40,6 +41,28 @@ class SimtCore : public PacketSink {
 
   // ---- PacketSink (reply-network ejection side) ----
   void deliver(const Packet& pkt, Cycle now) override;
+
+  // ---- Activity-driven stepping ----
+  /// True after a cycle in which no warp could issue and no request was
+  /// queued: until a reply arrives (deliver(), which wakes the core), every
+  /// further cycle would only increment the issue-stall counter — which
+  /// sync_idle replays on wake. Any other outcome (issued, SIMD front-end
+  /// draining, requests pending at the NI) keeps the core stepping, since
+  /// NI backpressure can clear without any callback to the core.
+  bool can_sleep() const { return can_sleep_; }
+  /// Books the slept cycles [next expected, now) as issue stalls — by the
+  /// can_sleep() invariant they all were. Called from cycle() on wake and
+  /// by GpgpuSim::sync_activity() at run/reset boundaries.
+  void sync_idle(Cycle now) {
+    if (now <= next_cycle_) return;
+    issue_stalls_ += now - next_cycle_;
+    next_cycle_ = now;
+  }
+  /// Registers this core in `set` (as member `idx`); deliver() wakes it.
+  void set_activity_hook(ActiveSet* set, std::size_t idx) {
+    act_set_ = set;
+    act_idx_ = idx;
+  }
 
   // ---- Stats ----
   std::uint64_t warp_instructions() const { return instructions_; }
@@ -86,6 +109,12 @@ class SimtCore : public PacketSink {
   std::uint64_t instructions_ = 0;
   std::uint64_t requests_sent_ = 0;
   std::uint64_t issue_stalls_ = 0;
+
+  // Activity-driven stepping (null hook = always-on mode).
+  ActiveSet* act_set_ = nullptr;
+  std::size_t act_idx_ = 0;
+  Cycle next_cycle_ = 0;  ///< Next cycle this core expects to process.
+  bool can_sleep_ = false;
 };
 
 }  // namespace arinoc

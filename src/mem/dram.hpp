@@ -7,6 +7,7 @@
 // then the oldest request whose bank can accept an activate.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -58,6 +59,21 @@ class GddrDram {
 
   /// Completions since the last drain (in completion order).
   std::vector<DramCompletion> drain_completed();
+
+  /// True when tick() would only advance the clock: nothing queued, nothing
+  /// in service, nothing awaiting drain. The activity layer may then skip
+  /// ticks and replay them with advance_idle().
+  bool fully_idle() const {
+    return queue_.empty() && in_service_.empty() && completed_.empty();
+  }
+  /// Replays `ticks` idle memory cycles at once. Exactly equivalent to that
+  /// many tick() calls while fully_idle(): each such tick only increments
+  /// the clock (the retire loop scans an empty vector and the scheduler
+  /// returns before touching any bank or bus state).
+  void advance_idle(std::uint64_t ticks) {
+    assert(fully_idle());
+    now_ += ticks;
+  }
 
   std::size_t queue_depth() const { return queue_.size(); }
 

@@ -20,7 +20,22 @@ MemController::MemController(const Config& cfg, NodeId node, TxnPool* txns,
 
 void MemController::deliver(const Packet& pkt, Cycle /*now*/) {
   assert(!is_reply(pkt.type) && "MC received a reply packet");
+  if (act_set_) act_set_->wake(act_idx_);
   request_q_.push_back(pkt.txn);
+}
+
+void MemController::sync_idle(Cycle now) {
+  if (now <= next_cycle_) return;
+  const Cycle gap = now - next_cycle_;
+  // While can_sleep() holds, every skipped cycle would have sampled three
+  // empty queues and ticked an idle DRAM: replay exactly that. stall_cycles_
+  // cannot accrue (the reply stage is empty) and the L2/reply pipelines
+  // cannot move (nothing is in them).
+  req_q_occ_.add_zeros(gap);
+  dram_q_occ_.add_zeros(gap);
+  reply_occ_.add_zeros(gap);
+  dram_.advance_idle(mem_clock_.ticks_for(gap));
+  next_cycle_ = now;
 }
 
 void MemController::push_reply(PacketType type, TxnId txn) {
@@ -60,6 +75,9 @@ void MemController::handle_l2_op(const L2Op& op) {
 }
 
 void MemController::cycle(Cycle now) {
+  sync_idle(now);  // Replay slept cycles; a zero gap in always-on mode.
+  next_cycle_ = now + 1;
+
   // 1) Forward ready reply data to the NI over the wide intra-tile link
   //    (one data per cycle, §4.1). A blocked head is the Fig. 12 stall.
   if (!reply_stage_.empty()) {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -45,6 +46,27 @@ class MemController : public PacketSink {
 
   /// One interconnect cycle (internally ticks DRAM at the memory clock).
   void cycle(Cycle now);
+
+  // ---- Activity-driven stepping ----
+  /// True when cycle() would only perform the fixed idle bookkeeping (three
+  /// zero occupancy samples + idle DRAM clock ticks): no staged replies, no
+  /// queued or pipelined requests, no outstanding DRAM work. The only event
+  /// that can end this state is deliver(), which wakes the MC.
+  bool can_sleep() const {
+    return reply_stage_.empty() && request_q_.empty() && l2_pipe_.empty() &&
+           pending_reads_.empty() && dram_.fully_idle();
+  }
+  /// Replays the bookkeeping of the idle cycles [next expected, now):
+  /// zero-valued occupancy samples and idle DRAM clock ticks, exactly as
+  /// the skipped cycle() calls would have produced them. Also called by
+  /// GpgpuSim::sync_activity() at run/reset boundaries so deferred samples
+  /// are attributed to the measurement window they belong to.
+  void sync_idle(Cycle now);
+  /// Registers this MC in `set` (as member `idx`); deliver() wakes it.
+  void set_activity_hook(ActiveSet* set, std::size_t idx) {
+    act_set_ = set;
+    act_idx_ = idx;
+  }
 
   // ---- Stats ----
   /// Cycles in which ready reply data was blocked at the MC->NI boundary.
@@ -95,6 +117,11 @@ class MemController : public PacketSink {
   Accumulator req_q_occ_;
   Accumulator dram_q_occ_;
   Accumulator reply_occ_;
+
+  // Activity-driven stepping (null hook = always-on mode).
+  ActiveSet* act_set_ = nullptr;
+  std::size_t act_idx_ = 0;
+  Cycle next_cycle_ = 0;  ///< Next cycle this MC expects to process.
 };
 
 }  // namespace arinoc

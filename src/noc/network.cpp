@@ -41,6 +41,16 @@ Network::Network(const NetworkParams& params, const Mesh* mesh)
   flit_ring_.resize(slots);
   credit_ring_.resize(slots);
 
+  if (params.activity_driven) {
+    router_act_.resize(mesh->nodes());
+    for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
+      routers_[static_cast<std::size_t>(n)]->set_activity_hook(
+          &router_act_, static_cast<std::size_t>(n));
+    }
+    // All routers run the first cycle; empty ones go straight to sleep.
+    router_act_.wake_all();
+  }
+
   if (params.fault.any_enabled()) {
     fault_ = std::make_unique<FaultInjector>(params.fault, mesh);
     if (params.fault.recovery) {
@@ -80,18 +90,77 @@ void Network::finish_packet(PacketId id, Cycle now) {
   arena_.retire(id);
 }
 
+void Network::step_router(NodeId n, Cycle now, std::size_t send_slot) {
+  scratch_flits_.clear();
+  scratch_credits_.clear();
+  routers_[static_cast<std::size_t>(n)]->step(now, &scratch_flits_,
+                                              &scratch_credits_);
+  for (const OutboundFlit& of : scratch_flits_) {
+    const NodeId dst = mesh_->neighbor(n, of.out_dir);
+    assert(dst != kInvalidNode);
+    FlitEvent ev{dst, opposite(of.out_dir), of.out_vc, of.flit};
+    const bool corrupted = fault_ && fault_->corrupt_link(n, of.out_dir);
+    if (corrupted) {
+      ev.flit.corrupted = true;
+      ++stats_.flits_corrupted;
+    }
+    if (tracer_) {
+      const PacketType type = arena_.at(ev.flit.pkt).type;
+      if (corrupted) {
+        tracer_->record(obs::TraceEventKind::kCorrupt, tracer_net_, now,
+                        ev.flit.pkt, type, n, of.out_dir);
+      }
+      if (ev.flit.head) {
+        tracer_->record(obs::TraceEventKind::kLinkHop, tracer_net_, now,
+                        ev.flit.pkt, type, n, of.out_dir);
+      }
+    }
+    flit_ring_[send_slot].push_back(ev);
+  }
+  for (const OutboundCredit& oc : scratch_credits_) {
+    const NodeId up = mesh_->neighbor(n, oc.in_dir);
+    assert(up != kInvalidNode);
+    const int up_dir = opposite(oc.in_dir);
+    if (fault_ && fault_->take_credit_drop(up, up_dir)) {
+      // The credit vanishes in flight: the upstream (up, up_dir, vc)
+      // counter permanently shrinks. Recorded so the invariant audit can
+      // tell intentional loss from a protocol bug.
+      if (!credits_lost_.empty()) {
+        ++credits_lost_[(static_cast<std::size_t>(up) * kNumDirections +
+                         static_cast<std::size_t>(up_dir)) *
+                            params_.num_vcs +
+                        static_cast<std::size_t>(oc.vc)];
+      }
+      continue;
+    }
+    credit_ring_[send_slot].push_back({up, up_dir, oc.vc});
+  }
+}
+
 void Network::step(Cycle now) {
   // 0) Draw this cycle's fault events and push blocked-link transitions into
   // the affected upstream routers (fault-aware routing sees them during VA).
+  // begin_cycle runs unconditionally every cycle so the fault RNG stream is
+  // a pure function of the cycle number, independent of router activity.
   if (fault_) {
     fault_->begin_cycle(now);
     for (const auto& [src, dir] : fault_->changed_links()) {
       routers_[static_cast<std::size_t>(src)]->set_output_blocked(
           dir, fault_->link_blocked(src, dir));
+      // Defensive wake: a link transition can re-enable VC allocation at
+      // the upstream router. A router holding flits is awake anyway, and
+      // waking an empty router is always a no-op, so this is cheap
+      // insurance rather than a behaviour change.
+      if (params_.activity_driven) {
+        router_act_.wake(static_cast<std::size_t>(src));
+      }
     }
   }
 
   // 1) Deliver flits and credits that finished traversing their links.
+  // receive_flit wakes the destination router; credits never give an empty
+  // router work (every credit-consuming action needs a buffered flit), so
+  // credit delivery needs no wake.
   auto& due_flits = flit_ring_[ring_pos_];
   for (const FlitEvent& e : due_flits) {
     routers_[static_cast<std::size_t>(e.dst)]->receive_flit(e.in_dir, e.vc,
@@ -104,60 +173,33 @@ void Network::step(Cycle now) {
   }
   due_credits.clear();
 
-  // 2) Step every router; stage its outputs onto the link pipelines.
+  // 2) Step the routers; stage their outputs onto the link pipelines.
   // Events pushed into the just-cleared slot resurface after exactly
-  // `link_latency` ring advances.
+  // `link_latency` ring advances. Activity-driven mode steps only woken
+  // routers, in ascending node order — the same order as the full loop, so
+  // arena free-list recycling and trace-event order cannot diverge.
   const std::size_t send_slot = ring_pos_;
-  for (NodeId n = 0; n < static_cast<NodeId>(mesh_->nodes()); ++n) {
-    scratch_flits_.clear();
-    scratch_credits_.clear();
-    routers_[static_cast<std::size_t>(n)]->step(now, &scratch_flits_,
-                                                &scratch_credits_);
-    for (const OutboundFlit& of : scratch_flits_) {
-      const NodeId dst = mesh_->neighbor(n, of.out_dir);
-      assert(dst != kInvalidNode);
-      FlitEvent ev{dst, opposite(of.out_dir), of.out_vc, of.flit};
-      if (fault_ && fault_->corrupt_link(n, of.out_dir)) {
-        ev.flit.corrupted = true;
-        ++stats_.flits_corrupted;
-        if (tracer_) {
-          tracer_->record(obs::TraceEventKind::kCorrupt, tracer_net_, now,
-                          ev.flit.pkt, arena_.at(ev.flit.pkt).type, n,
-                          of.out_dir);
-        }
-      }
-      if (tracer_ && ev.flit.head) {
-        tracer_->record(obs::TraceEventKind::kLinkHop, tracer_net_, now,
-                        ev.flit.pkt, arena_.at(ev.flit.pkt).type, n,
-                        of.out_dir);
-      }
-      flit_ring_[send_slot].push_back(ev);
-    }
-    for (const OutboundCredit& oc : scratch_credits_) {
-      const NodeId up = mesh_->neighbor(n, oc.in_dir);
-      assert(up != kInvalidNode);
-      const int up_dir = opposite(oc.in_dir);
-      if (fault_ && fault_->take_credit_drop(up, up_dir)) {
-        // The credit vanishes in flight: the upstream (up, up_dir, vc)
-        // counter permanently shrinks. Recorded so the invariant audit can
-        // tell intentional loss from a protocol bug.
-        if (!credits_lost_.empty()) {
-          ++credits_lost_[(static_cast<std::size_t>(up) * kNumDirections +
-                           static_cast<std::size_t>(up_dir)) *
-                              params_.num_vcs +
-                          static_cast<std::size_t>(oc.vc)];
-        }
-        continue;
-      }
-      credit_ring_[send_slot].push_back({up, up_dir, oc.vc});
+  if (params_.activity_driven) {
+    router_act_.drain_sorted([&](std::size_t i) {
+      step_router(static_cast<NodeId>(i), now, send_slot);
+      // A router sleeps only when it holds no flits at all; anything
+      // buffered (even unmovable under backpressure) keeps it stepping so
+      // fairness pointers rotate exactly as in always-on mode.
+      if (routers_[i]->buffered_flits_total() > 0) router_act_.wake(i);
+    });
+  } else {
+    for (NodeId n = 0; n < static_cast<NodeId>(mesh_->nodes()); ++n) {
+      step_router(n, now, send_slot);
     }
   }
 
-  // 3) Advance the link pipeline.
-  ring_pos_ = (ring_pos_ + 1) % flit_ring_.size();
+  // 3) Advance the link pipeline (compare-and-wrap; the ring is tiny and a
+  // division per cycle is measurable in the hot loop).
+  if (++ring_pos_ == flit_ring_.size()) ring_pos_ = 0;
 
   // 4) Recovery bookkeeping: retire acked retransmission entries and fire
-  // NACK/timeout-driven re-injections.
+  // NACK/timeout-driven re-injections. Runs unconditionally: timer expiry
+  // must re-inject (and wake the injection NI) even when the fabric idles.
   if (rtx_) rtx_->step(now);
 }
 

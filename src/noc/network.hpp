@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "noc/fault.hpp"
@@ -46,6 +47,10 @@ struct NetworkParams {
   /// Fault campaign + recovery knobs. All rates zero (the default) means no
   /// injector or tracker is even constructed — a strict no-op.
   FaultParams fault;
+  /// Activity-driven stepping: step() iterates only routers that can do
+  /// work this cycle (woken by flit delivery/injection). Host-side execution
+  /// strategy only — simulated behaviour is bit-identical either way.
+  bool activity_driven = false;
 };
 
 class Network {
@@ -118,6 +123,12 @@ class Network {
   void reset_stats();
 
   // ---- Observability ----
+  /// Routes ejection-buffer pushes at node `n` to a wake of member `idx` in
+  /// `set` (the ejection NI's active set; activity-driven mode only).
+  void set_eject_hook(NodeId n, ActiveSet* set, std::size_t idx) {
+    routers_[static_cast<std::size_t>(n)]->set_eject_hook(set, idx);
+  }
+
   /// Attaches a packet-lifecycle tracer to this network and all its routers
   /// (null detaches). `net` tags the emitted events (0 = request, 1 = reply).
   void set_tracer(obs::PacketTracer* t, std::uint8_t net);
@@ -152,10 +163,14 @@ class Network {
     int vc;
   };
 
+  void step_router(NodeId n, Cycle now, std::size_t send_slot);
+
   NetworkParams params_;
   const Mesh* mesh_;
   PacketArena arena_;
   std::vector<std::unique_ptr<Router>> routers_;
+  /// Routers that may do work next cycle (activity-driven mode only).
+  ActiveSet router_act_;
   // Ring buffers implementing link pipeline latency.
   std::vector<std::vector<FlitEvent>> flit_ring_;
   std::vector<std::vector<CreditEvent>> credit_ring_;

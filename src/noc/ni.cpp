@@ -23,6 +23,10 @@ int pick_injection_vc(Router& r, std::uint32_t ip, std::uint32_t flits) {
 InjectNi::InjectNi(Network* net, NodeId node) : net_(net), node_(node) {}
 
 void InjectNi::finish_accept(PacketId id, Cycle now) {
+  // Wake for activity-driven stepping. This covers every path that can give
+  // an idle NI work: first transmissions from the core/MC ports and
+  // retransmissions re-injected by the RetransmitTracker.
+  if (act_set_) act_set_->wake(act_idx_);
   net_->arena().at(id).created = now;
   if (RetransmitTracker* rtx = net_->retransmit()) rtx->on_accept(id, now);
   if (obs::PacketTracer* t = net_->tracer()) {

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "noc/buffer.hpp"
@@ -66,6 +67,18 @@ class InjectNi {
   /// Queued complete packets (Fig. 6 reports packets).
   virtual std::size_t occupancy_packets() const = 0;
 
+  /// True when cycle() would be a strict no-op: nothing queued and nothing
+  /// mid-transfer on the node->NI link. Every accepted packet (first
+  /// transmission or retransmission) goes through finish_accept, which
+  /// wakes the NI, so an idle NI may sleep without a catch-up step.
+  virtual bool idle() const { return occupancy_flits() == 0; }
+
+  /// Registers this NI in `set` (as member `idx`) on every accept.
+  void set_activity_hook(ActiveSet* set, std::size_t idx) {
+    act_set_ = set;
+    act_idx_ = idx;
+  }
+
   /// Per-cycle occupancy sampling for Fig. 6.
   void sample() {
     ++samples_;
@@ -93,6 +106,8 @@ class InjectNi {
  private:
   std::uint64_t samples_ = 0;
   double occupancy_sum_ = 0.0;
+  ActiveSet* act_set_ = nullptr;
+  std::size_t act_idx_ = 0;
 };
 
 /// Single queue; narrow link from the node into the NI (serialization delay)
@@ -104,6 +119,11 @@ class BaselineInjectNi : public InjectNi {
   void cycle(Cycle now) override;
   std::size_t occupancy_flits() const override;
   std::size_t occupancy_packets() const override;
+  /// A packet serializing over the narrow node->NI link keeps the NI busy
+  /// even while the queue itself is still empty.
+  bool idle() const override {
+    return occupancy_flits() == 0 && incoming_ == kInvalidPacket;
+  }
 
  private:
   void drain_to_router(Cycle now);

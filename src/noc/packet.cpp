@@ -24,9 +24,10 @@ PacketId PacketArena::create(PacketType type, NodeId src, NodeId dest,
   } else {
     id = static_cast<PacketId>(slots_.size());
     slots_.emplace_back();
-    live_.push_back(false);
+    live_.push_back(0);
   }
-  live_[id] = true;
+  live_[id] = 1;
+  ++live_count_;
   Packet& p = slots_[id];
   p = Packet{};
   p.type = type;
@@ -42,7 +43,8 @@ PacketId PacketArena::create(PacketType type, NodeId src, NodeId dest,
 void PacketArena::retire(PacketId id) {
   assert(id < slots_.size());
   assert(live_[id]);
-  live_[id] = false;
+  live_[id] = 0;
+  --live_count_;
   free_.push_back(id);
 }
 

@@ -63,13 +63,17 @@ class PacketArena {
   Packet& at(PacketId id) { return slots_[id]; }
   const Packet& at(PacketId id) const { return slots_[id]; }
 
-  /// Number of currently live (created, not retired) packets.
-  std::size_t live() const { return slots_.size() - free_.size(); }
+  /// Number of currently live (created, not retired) packets. O(1): kept
+  /// as a dedicated counter — this sits on the watchdog observation path.
+  std::size_t live() const { return live_count_; }
   std::size_t capacity() const { return slots_.size(); }
 
-  /// True if `id` refers to a live (created, not retired) packet.
+  /// True if `id` refers to a live (created, not retired) packet. The
+  /// liveness map is byte-per-slot (not vector<bool>): this read sits on
+  /// the NI ejection / retransmission hot path where a bit-proxy load
+  /// costs a shift+mask per call.
   bool is_live(PacketId id) const {
-    return id < live_.size() && live_[id];
+    return id < live_.size() && live_[id] != 0;
   }
 
   /// Creation cycle of the oldest live packet, or `fallback` when none are
@@ -82,7 +86,8 @@ class PacketArena {
  private:
   std::vector<Packet> slots_;
   std::vector<PacketId> free_;
-  std::vector<bool> live_;
+  std::vector<std::uint8_t> live_;
+  std::size_t live_count_ = 0;
 };
 
 }  // namespace arinoc

@@ -53,6 +53,8 @@ void Router::receive_flit(int dir, int vc, const Flit& flit) {
   assert(!v.buf.full() && "credit protocol violated");
   if (v.buf.empty()) v.wait_since = 0;  // refreshed at route_stage
   v.buf.push(flit);
+  ++buffered_total_;
+  if (act_set_) act_set_->wake(act_idx_);
 }
 
 void Router::receive_credit(int dir, int vc) {
@@ -83,6 +85,8 @@ void Router::inject_flit(std::uint32_t ip, std::uint32_t vc, const Flit& flit,
   InputVC& v = ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc));
   assert(!v.buf.full() && "injection overflow");
   v.buf.push(flit);
+  ++buffered_total_;
+  if (act_set_) act_set_->wake(act_idx_);
   if (flit.head) {
     arena_->at(flit.pkt).injected = now;
     if (tracer_) {
@@ -295,12 +299,14 @@ void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
     const int vc = winner % static_cast<int>(params_.num_vcs);
     InputVC& v = ivc(p, vc);
     Flit f = v.buf.pop();
+    --buffered_total_;
     ++crossbar_count_;
     v.wait_since = now;
 
     if (static_cast<int>(o) == kEjectPort) {
       assert(!ejection_buf_.full());
       ejection_buf_.push(f);
+      if (eject_set_) eject_set_->wake(eject_idx_);
       ++ejected_flit_count_;
       ++out_flit_count_[kEjectPort];
     } else {
@@ -328,6 +334,18 @@ void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
 
 void Router::step(Cycle now, std::vector<OutboundFlit>* out_flits,
                   std::vector<OutboundCredit>* out_credits) {
+  // Activity catch-up: a step of an empty router mutates exactly one thing —
+  // the fairness pointers rotate once (vc_alloc_stage advances va_rr_,
+  // switch_stage advances every input_rr_[p]; the priority arbiters do not
+  // move on an empty request vector). Replaying those rotations for the
+  // slept span makes sleeping bit-identical to always-on stepping. In
+  // always-on mode the gap is always zero.
+  if (now > next_cycle_) {
+    const Cycle gap = now - next_cycle_;
+    va_rr_ = (va_rr_ + gap) % input_vcs_.size();
+    for (std::size_t& rr : input_rr_) rr = (rr + gap) % params_.num_vcs;
+  }
+  next_cycle_ = now + 1;
   route_stage(now);
   vc_alloc_stage(now);
   switch_stage(now, out_flits, out_credits);

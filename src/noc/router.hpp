@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "noc/arbiter.hpp"
@@ -119,10 +120,25 @@ class Router {
   }
   std::uint32_t vc_depth_flits() const { return params_.vc_depth_flits; }
   /// Flits currently buffered across every input VC (direction + injection).
-  std::size_t buffered_flits_total() const {
-    std::size_t n = 0;
-    for (const auto& v : input_vcs_) n += v.buf.size();
-    return n;
+  /// O(1): the activity layer polls this after every step to decide whether
+  /// the router may sleep.
+  std::size_t buffered_flits_total() const { return buffered_total_; }
+
+  // ---- Activity-driven stepping hooks ----
+  /// Registers this router in `set` (as member `idx`) whenever a flit
+  /// arrives or is injected — the only events that can give an empty router
+  /// work. An empty router's step mutates nothing but its round-robin
+  /// pointers, which step() replays exactly on wake, so a router sleeps iff
+  /// buffered_flits_total() == 0.
+  void set_activity_hook(ActiveSet* set, std::size_t idx) {
+    act_set_ = set;
+    act_idx_ = idx;
+  }
+  /// Wakes the ejection-side NI (member `idx` of `set`) whenever a flit is
+  /// pushed into the ejection buffer.
+  void set_eject_hook(ActiveSet* set, std::size_t idx) {
+    eject_set_ = set;
+    eject_idx_ = idx;
   }
 
   /// Attaches a packet-lifecycle tracer (null detaches). The tracer is a
@@ -214,6 +230,16 @@ class Router {
 
   obs::PacketTracer* tracer_ = nullptr;
   std::uint8_t tracer_net_ = 0;
+
+  // Activity-driven stepping (null hooks = always-on mode).
+  ActiveSet* act_set_ = nullptr;
+  std::size_t act_idx_ = 0;
+  ActiveSet* eject_set_ = nullptr;
+  std::size_t eject_idx_ = 0;
+  /// Next cycle this router expects to step; the gap to `now` is the slept
+  /// span whose idle round-robin rotations step() replays on wake.
+  Cycle next_cycle_ = 0;
+  std::size_t buffered_total_ = 0;
 
   // Stats.
   std::uint64_t out_flit_count_[kNumDirections + 1] = {};
