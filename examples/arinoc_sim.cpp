@@ -64,9 +64,28 @@
 //     --watchdog-livelock <n> per-packet age ceiling    (default: 50000)
 //     --audit-interval <n>    credit-invariant audit period (default: off)
 //
+//   Open-loop serving + admission control (see docs/workloads.md,
+//   docs/noc.md; all off by default — off means bit-identical to previous
+//   releases):
+//     --pace <spec>           open-loop front end: pace spec or pace-file
+//                             path replaces the closed-loop cores
+//                             (constant:0.05, diurnal:..., burst:...,
+//                             flash:..., or a *.pace file)
+//     --load <x>              load factor scaling the pace profile (1.0)
+//     --admission             enable NI admission control + the
+//                             NORMAL/THROTTLED/SHEDDING degradation FSM
+//     --slo <cycles>          end-to-end p99 latency objective; a run that
+//                             finishes above it exits 6 (open-loop runs
+//                             check client e2e p99, closed-loop runs check
+//                             reply-network p99)
+//   Missing/unreadable trace or pace files are rejected up front with exit
+//   code 2, before any simulation state is built. File-paced open-loop runs
+//   bypass the result cache (the cache key covers the pace spec string, not
+//   pace-file contents).
+//
 //   Exit codes: 0 ok, 1 runtime error, 2 usage/config error,
 //               3 deadlock detected, 4 livelock detected,
-//               5 invariant violation detected.
+//               5 invariant violation detected, 6 SLO violated.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -99,7 +118,7 @@ std::optional<Scheme> parse_scheme(const std::string& name) {
   return std::nullopt;
 }
 
-void print_human(const Metrics& m, bool faults) {
+void print_human(const Metrics& m, bool faults, bool serving) {
   TextTable t({"metric", "value"});
   t.add_row({"cycles", std::to_string(m.cycles)});
   t.add_row({"IPC (warp instr/cycle)", fmt(m.ipc)});
@@ -131,6 +150,24 @@ void print_human(const Metrics& m, bool faults) {
     t.add_row({"retransmitted flits",
                std::to_string(m.activity.noc_retx_flits)});
   }
+  if (serving) {
+    t.add_row({"requests offered/completed",
+               std::to_string(m.requests_offered) + " / " +
+                   std::to_string(m.requests_completed)});
+    t.add_row({"offered rate / goodput",
+               fmt(m.offered_rate, 4) + " / " + fmt(m.goodput, 4)});
+    t.add_row({"requests shed/deferred",
+               std::to_string(m.requests_shed) + " / " +
+                   std::to_string(m.requests_deferred)});
+    t.add_row({"e2e latency p50/p99/p99.9",
+               fmt(m.e2e_latency_p50, 1) + " / " + fmt(m.e2e_latency_p99, 1) +
+                   " / " + fmt(m.e2e_latency_p999, 1)});
+    t.add_row({"cycles throttled/shedding",
+               std::to_string(m.cycles_throttled) + " / " +
+                   std::to_string(m.cycles_shedding)});
+    t.add_row({"degrade transitions", std::to_string(m.degrade_transitions)});
+    t.add_row({"watchdog pre-trips", std::to_string(m.watchdog_pre_trips)});
+  }
   std::printf("%s", t.to_string().c_str());
 }
 
@@ -158,6 +195,24 @@ ObsOptions obs_from_env() {
   }
   if (const char* out = std::getenv("ARINOC_SAMPLE_OUT")) obs.sample_out = out;
   return obs;
+}
+
+/// True when the pace spec names a file rather than a built-in generator
+/// (mirrors PaceProfile::parse_spec's dispatch rule).
+bool pace_spec_is_file(const std::string& spec) {
+  return spec.find('/') != std::string::npos ||
+         (spec.size() >= 5 && spec.compare(spec.size() - 5, 5, ".pace") == 0);
+}
+
+/// Fail-fast existence/readability check for input files named on the
+/// command line: a typo'd path must die with a clear usage error before
+/// any simulation state is built, not as a mid-run exception.
+bool require_readable(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (in.good()) return true;
+  std::fprintf(stderr, "error: %s '%s' is missing or unreadable\n", what,
+               path.c_str());
+  return false;
 }
 
 bool write_file(const std::string& path, const std::string& body) {
@@ -220,6 +275,7 @@ int main(int argc, char** argv) {
   Config cfg = make_base_config();
   bool da2mesh = false;
   bool json = false;
+  double slo_cycles = 0.0;  ///< 0 = no SLO check.
   ObsOptions obs = obs_from_env();
 
   exec::ExecOptions exec_opts = exec::options_from_env(true);
@@ -289,6 +345,19 @@ int main(int argc, char** argv) {
       cfg.fault_seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-recovery") {
       cfg.fault_recovery = false;
+    } else if (arg == "--pace") {
+      cfg.open_loop = true;
+      cfg.pace_spec = value();
+    } else if (arg == "--load") {
+      cfg.pace_scale = std::strtod(value(), nullptr);
+    } else if (arg == "--admission") {
+      cfg.admission_enabled = true;
+    } else if (arg == "--slo") {
+      slo_cycles = std::strtod(value(), nullptr);
+      if (slo_cycles <= 0.0) {
+        std::fprintf(stderr, "--slo requires a positive cycle count\n");
+        return 2;
+      }
     } else if (arg == "--no-activity") {
       cfg.activity_driven = false;
     } else if (arg == "--no-watchdog") {
@@ -330,6 +399,20 @@ int main(int argc, char** argv) {
   if (!obs.sample_out.empty() && exec_opts.sample_interval == 0) {
     std::fprintf(stderr, "--sample-out requires --sample-interval <n>\n");
     return 2;
+  }
+
+  // Fail fast on input files: a missing/unreadable trace or pace file is a
+  // usage error (exit 2) caught before any simulation state exists.
+  if (!replay_path.empty() &&
+      !require_readable(replay_path, "trace file")) {
+    return 2;
+  }
+  if (cfg.open_loop && pace_spec_is_file(cfg.pace_spec)) {
+    if (!require_readable(cfg.pace_spec, "pace file")) return 2;
+    // Pace-file contents are not part of the exec cache key (only the path
+    // string is), so a cached result could silently go stale if the file
+    // changed. Never cache file-paced cells.
+    exec_opts.cache_enabled = false;
   }
 
   Metrics m;
@@ -408,8 +491,26 @@ int main(int argc, char** argv) {
   } else {
     std::printf("scheme: %s   workload: %s\n", scheme_name(scheme),
                 replay_path.empty() ? benchmark.c_str() : replay_path.c_str());
-    print_human(m, cfg.fault_enabled());
+    if (cfg.open_loop) {
+      std::printf("pace: %s   load: %.3g   admission: %s\n",
+                  cfg.pace_spec.c_str(), cfg.pace_scale,
+                  cfg.admission_enabled ? "on" : "off");
+    }
+    print_human(m, cfg.fault_enabled(),
+                cfg.open_loop || cfg.admission_enabled);
     if (!breakdown.empty()) std::printf("\n%s", breakdown.c_str());
+  }
+
+  // SLO gate: open-loop runs are judged on client end-to-end p99 (queueing
+  // included); closed-loop runs on reply-network p99.
+  if (slo_cycles > 0.0) {
+    const double p99 =
+        cfg.open_loop ? m.e2e_latency_p99 : m.reply_latency_p99;
+    if (p99 > slo_cycles) {
+      std::fprintf(stderr, "SLO violated: p99 latency %.1f > objective %.1f\n",
+                   p99, slo_cycles);
+      return 6;
+    }
   }
   return 0;
 }

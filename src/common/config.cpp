@@ -70,6 +70,41 @@ std::string Config::validate() const {
     err << "watchdog_deadlock_window must be >= 1 cycle (got 0); ";
   if (watchdog_enabled && watchdog_livelock_age == 0)
     err << "watchdog_livelock_age must be >= 1 cycle (got 0); ";
+  if (pace_spec.find('\n') != std::string::npos)
+    err << "pace_spec must not contain newlines; ";
+  if (open_loop && pace_spec.empty())
+    err << "open_loop requires a pace_spec; ";
+  if (pace_scale < 0.0)
+    err << "pace_scale must be >= 0 (got " << pace_scale << "); ";
+  if (open_loop && ol_queue_cap == 0)
+    err << "ol_queue_cap must be >= 1 (got 0); ";
+  if (ol_write_frac < 0.0 || ol_write_frac > 1.0)
+    err << "ol_write_frac must be in [0, 1] (got " << ol_write_frac << "); ";
+  if (admission_enabled) {
+    if (adm_rate <= 0.0 || adm_rate > 1.0)
+      err << "adm_rate must be in (0, 1] tokens/cycle (got " << adm_rate
+          << "); ";
+    if (adm_burst == 0) err << "adm_burst must be >= 1 token (got 0); ";
+    if (adm_throttle_factor <= 0.0 || adm_throttle_factor > 1.0)
+      err << "adm_throttle_factor must be in (0, 1] (got "
+          << adm_throttle_factor << "); ";
+    auto check_occ = [&err](const char* name, double v) {
+      if (v <= 0.0 || v > 1.0)
+        err << name << " must be an occupancy fraction in (0, 1] (got " << v
+            << "); ";
+    };
+    check_occ("adm_throttle_occ", adm_throttle_occ);
+    check_occ("adm_shed_occ", adm_shed_occ);
+    check_occ("adm_recover_occ", adm_recover_occ);
+    if (!(adm_recover_occ < adm_throttle_occ &&
+          adm_throttle_occ < adm_shed_occ))
+      err << "admission thresholds must satisfy recover < throttle < shed "
+             "(hysteresis): got recover="
+          << adm_recover_occ << " throttle=" << adm_throttle_occ
+          << " shed=" << adm_shed_occ << "; ";
+    if (adm_dwell == 0) err << "adm_dwell must be >= 1 cycle (got 0); ";
+    if (adm_backoff == 0) err << "adm_backoff must be >= 1 cycle (got 0); ";
+  }
   return err.str();
 }
 
@@ -152,6 +187,24 @@ std::string Config::canonical_string() const {
   u("watchdog_deadlock_window", watchdog_deadlock_window);
   u("watchdog_livelock_age", watchdog_livelock_age);
   u("watchdog_audit_interval", watchdog_audit_interval);
+  u("open_loop", open_loop);
+  // validate() rejects newlines in pace_spec, so one line stays one field.
+  // Note: for file-driven specs the *path* is canonical, not the file
+  // contents — file-paced runs should not rely on the result cache.
+  os << "pace_spec=" << pace_spec << '\n';
+  d("pace_scale", pace_scale);
+  u("ol_queue_cap", ol_queue_cap);
+  d("ol_write_frac", ol_write_frac);
+  u("admission_enabled", admission_enabled);
+  d("adm_rate", adm_rate);
+  u("adm_burst", adm_burst);
+  d("adm_throttle_factor", adm_throttle_factor);
+  d("adm_throttle_occ", adm_throttle_occ);
+  d("adm_shed_occ", adm_shed_occ);
+  d("adm_recover_occ", adm_recover_occ);
+  u("adm_dwell", adm_dwell);
+  u("adm_retry_max", adm_retry_max);
+  u("adm_backoff", adm_backoff);
   return os.str();
 }
 

@@ -158,6 +158,32 @@ struct Config {
   Cycle watchdog_livelock_age = 50000;
   Cycle watchdog_audit_interval = 0;  ///< Credit-audit period; 0 = off.
 
+  // ---- Open-loop serving (overload robustness; docs/workloads.md) ----
+  /// Replace the SIMT cores with rate-driven OpenLoopClients. Off (the
+  /// default) leaves the closed-loop path untouched and bit-identical.
+  bool open_loop = false;
+  /// PaceProfile::parse_spec input: constant/diurnal/burst/flash spec or a
+  /// pace-file path. Only consulted when open_loop is set.
+  std::string pace_spec = "constant:0.02";
+  double pace_scale = 1.0;  ///< Load factor multiplying the profile.
+  std::uint32_t ol_queue_cap = 4096;  ///< Pending arrivals per client;
+                                      ///< overflow is dropped and counted.
+  double ol_write_frac = 0.15;  ///< Store fraction of generated requests.
+
+  // ---- Admission control & graceful degradation (noc/admission.*) ----
+  // Disabled (the default) constructs nothing: every run is bit-identical
+  // to a build without the admission subsystem.
+  bool admission_enabled = false;
+  double adm_rate = 0.25;        ///< Tokens/cycle/CC in NORMAL state.
+  std::uint32_t adm_burst = 8;   ///< Token-bucket depth.
+  double adm_throttle_factor = 0.5;  ///< Refill scale in THROTTLED.
+  double adm_throttle_occ = 0.60;  ///< Reply-NI occupancy: enter THROTTLED.
+  double adm_shed_occ = 0.85;      ///< Occupancy: enter SHEDDING.
+  double adm_recover_occ = 0.35;   ///< Occupancy: hysteretic step-down.
+  Cycle adm_dwell = 256;           ///< Min cycles between FSM transitions.
+  std::uint32_t adm_retry_max = 6; ///< Defer rounds before a request sheds.
+  Cycle adm_backoff = 32;          ///< Base defer backoff; doubles/retry.
+
   // Derived helpers -------------------------------------------------------
   std::uint32_t num_nodes() const { return mesh_width * mesh_height; }
   std::uint32_t num_ccs() const { return num_nodes() - num_mcs; }

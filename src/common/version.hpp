@@ -5,6 +5,6 @@
 
 namespace arinoc {
 
-inline constexpr const char kArinocVersion[] = "0.3.0-obs";
+inline constexpr const char kArinocVersion[] = "0.4.0-serving";
 
 }  // namespace arinoc

@@ -12,20 +12,31 @@ namespace arinoc {
 
 // ---------------------------------------------------------------- Ports
 
-/// Request injection glue for one CC node.
+/// Request injection glue for one CC node. In closed-loop runs with
+/// admission enabled the gate is consulted here (a denial surfaces to the
+/// core as plain injection backpressure, so its existing retry loop is the
+/// backoff); open-loop runs leave `gate` null because OpenLoopClient asks
+/// admission itself before calling this port — exactly one layer charges
+/// the token.
 class GpgpuSim::CcRequestPort final : public RequestPort {
  public:
-  CcRequestPort(GpgpuSim* sim, NodeId cc, InjectNi* ni)
-      : sim_(sim), cc_(cc), ni_(ni) {}
+  CcRequestPort(GpgpuSim* sim, NodeId cc, InjectNi* ni, AdmissionGate* gate)
+      : sim_(sim), cc_(cc), ni_(ni), gate_(gate) {}
 
   bool try_send_request(bool write, TxnId txn, NodeId dest_mc,
                         Cycle now) override {
+    if (gate_ && gate_->request(now) != AdmissionDecision::kAdmit) {
+      return false;
+    }
     const PacketType type =
         write ? PacketType::kWriteRequest : PacketType::kReadRequest;
     const PacketId id =
         sim_->request_net_->make_packet(type, cc_, dest_mc, 0, txn, now);
     if (ni_->try_accept(id, now)) return true;
     sim_->request_net_->abandon_packet(id);
+    // The admitted request never reached the fabric: return the token so
+    // admission only charges injected traffic.
+    if (gate_) gate_->refund_admit();
     return false;
   }
 
@@ -33,6 +44,7 @@ class GpgpuSim::CcRequestPort final : public RequestPort {
   GpgpuSim* sim_;
   NodeId cc_;
   InjectNi* ni_;
+  AdmissionGate* gate_;  ///< Null unless closed-loop admission.
 };
 
 /// Reply injection glue for one MC node (mesh NI or DA2mesh endpoint).
@@ -145,6 +157,11 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
         "fault injection targets the mesh reply network and is not "
         "supported with the DA2mesh overlay");
   }
+  if (use_da2mesh && (cfg.open_loop || cfg.admission_enabled)) {
+    throw std::invalid_argument(
+        "open-loop serving and admission control read mesh reply-NI queue "
+        "state and are not supported with the DA2mesh overlay");
+  }
 
   request_net_ = std::make_unique<Network>(request_params(cfg), &mesh_);
   request_net_->data_payload_bits = cfg.data_payload_bits;
@@ -162,6 +179,25 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
 
   const auto& mc_nodes = mesh_.mc_nodes();
   const auto& cc_nodes = mesh_.cc_nodes();
+
+  // Serving layer: the degradation FSM is global (one pressure signal, one
+  // state every gate reads); gates are per CC and built alongside their
+  // request NI below. The pace profile is parsed up front so a malformed
+  // spec or missing pace file fails construction, not cycle 1.
+  AdmissionParams ap;
+  if (cfg.admission_enabled) {
+    ap.rate = cfg.adm_rate;
+    ap.burst = cfg.adm_burst;
+    ap.throttle_factor = cfg.adm_throttle_factor;
+    ap.throttle_occ = cfg.adm_throttle_occ;
+    ap.shed_occ = cfg.adm_shed_occ;
+    ap.recover_occ = cfg.adm_recover_occ;
+    ap.dwell = cfg.adm_dwell;
+    degrade_ = std::make_unique<DegradationFsm>(ap);
+  }
+  if (cfg.open_loop) {
+    pace_ = std::make_unique<PaceProfile>(PaceProfile::parse_spec(cfg.pace_spec));
+  }
 
   // Memory controllers + their reply injection path.
   for (std::size_t i = 0; i < mc_nodes.size(); ++i) {
@@ -181,7 +217,10 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
         cfg.mc_eject_flits_per_cycle));
   }
 
-  // Cores + their request injection / reply ejection paths.
+  // Cores + their request injection / reply ejection paths. With
+  // cfg.open_loop the SIMT cores are replaced one-for-one by open-loop
+  // serving clients (cores_ stays empty); everything below the request
+  // port — NIs, mesh, MCs, replies — is unchanged.
   for (std::size_t i = 0; i < cc_nodes.size(); ++i) {
     const NodeId node = cc_nodes[i];
     // Request-side CC NIs use the enhanced single-queue architecture: the
@@ -190,16 +229,32 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
     request_inject_.push_back(make_inject_ni(
         cfg.request_side_ari ? NiArch::kSplitQueue : NiArch::kEnhanced,
         request_net_.get(), node, cfg));
+    if (degrade_) {
+      gates_.push_back(std::make_unique<AdmissionGate>(ap, degrade_.get()));
+    }
+    AdmissionGate* gate = degrade_ ? gates_.back().get() : nullptr;
+    // Exactly one layer consults the gate: the open-loop client (which
+    // owns defer/backoff) or, closed-loop, the request port.
     req_ports_.push_back(std::make_unique<CcRequestPort>(
-        this, node, request_inject_.back().get()));
-    cores_.push_back(std::make_unique<SimtCore>(
-        cfg, static_cast<std::uint32_t>(i), node, source, &txns_, &amap_,
-        &mesh_.mc_nodes(), req_ports_.back().get()));
+        this, node, request_inject_.back().get(),
+        cfg.open_loop ? nullptr : gate));
+    PacketSink* reply_sink = nullptr;
+    if (cfg.open_loop) {
+      clients_.push_back(std::make_unique<OpenLoopClient>(
+          cfg, static_cast<std::uint32_t>(i), node, pace_.get(), &txns_,
+          &amap_, &mesh_.mc_nodes(), req_ports_.back().get(), gate));
+      reply_sink = clients_.back().get();
+    } else {
+      cores_.push_back(std::make_unique<SimtCore>(
+          cfg, static_cast<std::uint32_t>(i), node, source, &txns_, &amap_,
+          &mesh_.mc_nodes(), req_ports_.back().get()));
+      reply_sink = cores_.back().get();
+    }
     if (!overlay_) {
       reply_eject_.push_back(std::make_unique<EjectNi>(
-          reply_net_.get(), node, cores_.back().get()));
+          reply_net_.get(), node, reply_sink));
     } else {
-      overlay_->set_sink(node, cores_.back().get());
+      overlay_->set_sink(node, reply_sink);
     }
   }
 
@@ -229,8 +284,10 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
     core_act_.resize(cores_.size());
     req_inj_act_.resize(request_inject_.size());
     rep_ej_act_.resize(reply_eject_.size());
-    for (std::size_t i = 0; i < cores_.size(); ++i) {
-      cores_[i]->set_activity_hook(&core_act_, i);
+    for (std::size_t i = 0; i < cc_nodes.size(); ++i) {
+      // Open-loop clients have no sleep state (the pace schedule ticks
+      // every cycle), so only real cores register in the active set.
+      if (i < cores_.size()) cores_[i]->set_activity_hook(&core_act_, i);
       request_inject_[i]->set_activity_hook(&req_inj_act_, i);
       if (!overlay_) {
         reply_net_->set_eject_hook(cc_nodes[i], &rep_ej_act_, i);
@@ -259,6 +316,22 @@ GpgpuSim::~GpgpuSim() = default;
 
 void GpgpuSim::step() {
   const Cycle now = cycle_;
+  // 0) Degradation FSM: one update per cycle from the reply-side pressure
+  // signal (mean reply-NI queue occupancy as a fraction of capacity, plus
+  // the watchdog's pre-trip warning), before any traffic source runs so
+  // every admission gate sees this cycle's state.
+  if (degrade_) {
+    double occ = 0.0;
+    for (const auto& ni : reply_inject_) {
+      occ += static_cast<double>(ni->occupancy_flits());
+    }
+    occ /= static_cast<double>(reply_inject_.size()) *
+           static_cast<double>(cfg_.ni_queue_flits);
+    degrade_->update(now, occ, watchdog_ && watchdog_->warning_active());
+  }
+  // Open-loop clients are paced by the arrival schedule, not system state:
+  // they step every cycle in both stepping modes (cores_ is empty here).
+  for (auto& cl : clients_) cl->cycle(now);
   if (activity_) {
     // Activity-driven stepping: each phase drains its active set in
     // ascending index order — the same order as the always-on loops — so
@@ -420,6 +493,10 @@ void GpgpuSim::reset_stats() {
   for (auto& ni : reply_inject_) {
     if (ni) ni->reset_stats();
   }
+  for (auto& cl : clients_) cl->reset_stats();
+  for (auto& g : gates_) g->reset_stats();
+  if (degrade_) degrade_->reset_stats();
+  pre_trip_base_ = watchdog_ ? watchdog_->pre_trip_count() : 0;
   measure_start_ = cycle_;
   if (sampler_) {
     // Warmup windows never leak into the series: drop them and re-baseline
@@ -470,6 +547,11 @@ GpgpuSim::ObsBaseline GpgpuSim::capture_obs_baseline() const {
       b.retransmits = rtx->retransmitted();
     }
   }
+  for (const auto& cl : clients_) b.requests_shed += cl->shed();
+  if (clients_.empty()) {
+    for (const auto& g : gates_) b.requests_shed += g->shed();
+  }
+  if (watchdog_) b.pre_trips = watchdog_->pre_trip_count();
   return b;
 }
 
@@ -520,6 +602,10 @@ void GpgpuSim::take_sample() {
   s.live_packets = txns_.live();
   s.retransmits = cur.retransmits - obs_base_.retransmits;
   s.flits_corrupted = cur.flits_corrupted - obs_base_.flits_corrupted;
+  s.degrade_state = static_cast<int>(
+      degrade_ ? degrade_->state() : DegradeState::kNormal);
+  s.requests_shed = cur.requests_shed - obs_base_.requests_shed;
+  s.pre_trip_warnings = cur.pre_trips - obs_base_.pre_trips;
 
   sampler_->push(s);
   obs_base_ = cur;
@@ -543,6 +629,49 @@ void GpgpuSim::register_counters(obs::CounterRegistry* reg) const {
                           [c] { return c->issue_stall_cycles(); });
     reg->register_counter(p + "l1.hits", [c] { return c->l1().hits(); });
     reg->register_counter(p + "l1.misses", [c] { return c->l1().misses(); });
+  }
+
+  for (const auto& clp : clients_) {
+    const OpenLoopClient* cl = clp.get();
+    const std::string p = "client" + std::to_string(cl->node()) + ".";
+    reg->register_counter(p + "offered", [cl] { return cl->offered(); });
+    reg->register_counter(p + "completed", [cl] { return cl->completed(); });
+    reg->register_counter(p + "shed", [cl] { return cl->shed(); });
+    reg->register_counter(p + "defer_events",
+                          [cl] { return cl->defer_events(); });
+    reg->register_gauge(p + "backlog", [cl] {
+      return static_cast<double>(cl->backlog());
+    });
+    reg->register_histogram(p + "e2e_latency", &cl->e2e_latency());
+  }
+
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const AdmissionGate* g = gates_[i].get();
+    const std::string p = "adm.cc" + std::to_string(i) + ".";
+    reg->register_counter(p + "admitted", [g] { return g->admitted(); });
+    reg->register_counter(p + "deferred", [g] { return g->deferred(); });
+    reg->register_counter(p + "shed", [g] { return g->shed(); });
+  }
+  if (degrade_) {
+    const DegradationFsm* fsm = degrade_.get();
+    reg->register_gauge("degrade.state", [fsm] {
+      return static_cast<double>(static_cast<int>(fsm->state()));
+    });
+    reg->register_counter("degrade.transitions",
+                          [fsm] { return fsm->transitions(); });
+    reg->register_counter("degrade.cycles_throttled", [fsm] {
+      return static_cast<std::uint64_t>(
+          fsm->cycles_in(DegradeState::kThrottled));
+    });
+    reg->register_counter("degrade.cycles_shedding", [fsm] {
+      return static_cast<std::uint64_t>(
+          fsm->cycles_in(DegradeState::kShedding));
+    });
+  }
+  if (watchdog_) {
+    const Watchdog* wd = watchdog_.get();
+    reg->register_counter("watchdog.pre_trip_warnings",
+                          [wd] { return wd->pre_trip_count(); });
   }
 
   for (const auto& mp : mcs_) {
@@ -673,6 +802,22 @@ std::string GpgpuSim::diagnostic_dump(const std::string& reason) const {
        << " reply_backlog=" << mc->reply_backlog()
        << " mean_request_q=" << mc->mean_request_q() << "\n";
   }
+  if (degrade_) {
+    std::uint64_t shed = 0;
+    for (const auto& cl : clients_) shed += cl->shed();
+    if (clients_.empty()) {
+      for (const auto& g : gates_) shed += g->shed();
+    }
+    os << "degradation: state=" << degrade_state_name(degrade_->state())
+       << " transitions=" << degrade_->transitions() << " shed=" << shed
+       << "\n";
+  }
+  for (const auto& cl : clients_) {
+    if (cl->backlog() == 0 && cl->in_flight() == 0) continue;
+    os << "client node " << cl->node() << ": backlog=" << cl->backlog()
+       << " in_flight=" << cl->in_flight() << " offered=" << cl->offered()
+       << " completed=" << cl->completed() << " shed=" << cl->shed() << "\n";
+  }
   os << "live transactions: " << txns_.live() << "\n";
   if (tracer_ && tracer_->size() > 0) {
     os << "last trace events:\n" << tracer_->tail_text(16);
@@ -704,10 +849,48 @@ Metrics GpgpuSim::collect() const {
   m.reply_latency_p50 = rep_hist.p50();
   m.reply_latency_p95 = rep_hist.p95();
   m.reply_latency_p99 = rep_hist.p99();
+  m.request_latency_p999 = req_hist.percentile(99.9);
+  m.reply_latency_p999 = rep_hist.percentile(99.9);
   for (std::size_t t = 0; t < 4; ++t) {
     m.latency_p99_by_type[t] = is_reply(static_cast<PacketType>(t))
                                    ? rep.latency_hist[t].p99()
                                    : req.latency_hist[t].p99();
+  }
+
+  // Serving / overload robustness. Shed/defer counts come from the clients
+  // when they exist (their totals include queue overflow and retry
+  // exhaustion) and from the gates alone in closed-loop admission runs —
+  // never both, so nothing double-counts.
+  if (!clients_.empty()) {
+    LogHistogram e2e;
+    for (const auto& cl : clients_) {
+      m.requests_offered += cl->offered();
+      m.requests_completed += cl->completed();
+      m.requests_shed += cl->shed();
+      m.requests_deferred += cl->defer_events();
+      m.queue_drops += cl->queue_drops();
+      e2e.merge(cl->e2e_latency());
+    }
+    const double per_cc = cycles_d * static_cast<double>(clients_.size());
+    m.offered_rate = static_cast<double>(m.requests_offered) / per_cc;
+    m.goodput = static_cast<double>(m.requests_completed) / per_cc;
+    m.e2e_latency_p50 = e2e.p50();
+    m.e2e_latency_p99 = e2e.p99();
+    m.e2e_latency_p999 = e2e.percentile(99.9);
+  } else {
+    for (const auto& g : gates_) {
+      m.requests_shed += g->shed();
+      m.requests_deferred += g->deferred();
+    }
+  }
+  if (degrade_) {
+    m.degrade_transitions = degrade_->transitions();
+    m.cycles_normal = degrade_->cycles_in(DegradeState::kNormal);
+    m.cycles_throttled = degrade_->cycles_in(DegradeState::kThrottled);
+    m.cycles_shedding = degrade_->cycles_in(DegradeState::kShedding);
+  }
+  if (watchdog_) {
+    m.watchdog_pre_trips = watchdog_->pre_trip_count() - pre_trip_base_;
   }
   for (std::size_t t = 0; t < 4; ++t) {
     m.flits_by_type[t] = req.flits_delivered[t] + rep.flits_delivered[t];

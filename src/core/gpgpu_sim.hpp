@@ -16,12 +16,15 @@
 #include "mem/address_map.hpp"
 #include "mem/mem_controller.hpp"
 #include "mem/txn.hpp"
+#include "noc/admission.hpp"
 #include "noc/network.hpp"
 #include "noc/ni.hpp"
 #include "noc/overlay.hpp"
 #include "noc/topology.hpp"
 #include "obs/sampler.hpp"
 #include "workloads/benchmark.hpp"
+#include "workloads/openloop.hpp"
+#include "workloads/pace.hpp"
 #include "workloads/tracegen.hpp"
 
 namespace arinoc {
@@ -77,6 +80,26 @@ struct Metrics {
   std::uint64_t credits_lost = 0;
   std::uint64_t link_stall_events = 0;
   std::uint64_t port_failures = 0;
+
+  // ---- Serving / overload robustness (all 0 unless open_loop/admission) ----
+  std::uint64_t requests_offered = 0;    ///< Scheduled open-loop arrivals.
+  std::uint64_t requests_completed = 0;  ///< Replies delivered to clients.
+  std::uint64_t requests_shed = 0;       ///< Dropped by admission/overflow.
+  std::uint64_t requests_deferred = 0;   ///< Admission defer (backoff) events.
+  std::uint64_t queue_drops = 0;         ///< Client arrival-queue overflows.
+  double offered_rate = 0.0;             ///< Offered requests/cycle/CC.
+  double goodput = 0.0;                  ///< Completed requests/cycle/CC.
+  /// End-to-end serving latency (scheduled arrival -> reply delivery).
+  double e2e_latency_p50 = 0.0;
+  double e2e_latency_p99 = 0.0;
+  double e2e_latency_p999 = 0.0;
+  double request_latency_p999 = 0.0;
+  double reply_latency_p999 = 0.0;
+  std::uint64_t degrade_transitions = 0;  ///< Degradation FSM edges.
+  Cycle cycles_normal = 0;
+  Cycle cycles_throttled = 0;
+  Cycle cycles_shedding = 0;
+  std::uint64_t watchdog_pre_trips = 0;  ///< Pre-trip warning rising edges.
 
   ActivityCounters activity;
   EnergyBreakdown energy;
@@ -134,6 +157,15 @@ class GpgpuSim {
   /// Outstanding memory transactions (conservation probe for tests).
   std::size_t live_txns() const { return txns_.live(); }
 
+  // ---- Serving layer access (open_loop / admission runs only) ----
+  std::size_t num_clients() const { return clients_.size(); }
+  OpenLoopClient& client(std::size_t i) { return *clients_[i]; }
+  /// Current degradation state; kNormal when admission is disabled.
+  DegradeState degrade_state() const {
+    return degrade_ ? degrade_->state() : DegradeState::kNormal;
+  }
+  const Watchdog* watchdog() const { return watchdog_.get(); }
+
   // ---- Observability (all optional; strictly inert when not enabled) ----
   /// Attaches a packet-lifecycle tracer to both mesh networks and their
   /// routers (null detaches). The DA2mesh overlay reply path carries no
@@ -177,6 +209,16 @@ class GpgpuSim {
   std::vector<std::unique_ptr<CcRequestPort>> req_ports_;
   std::vector<std::unique_ptr<McReplyPort>> reply_ports_;
 
+  // ---- Serving layer (open-loop front end + admission control) ----
+  /// Non-null iff cfg.open_loop: clients replace cores_ one-for-one per CC.
+  std::unique_ptr<PaceProfile> pace_;
+  std::vector<std::unique_ptr<OpenLoopClient>> clients_;
+  /// Non-null iff cfg.admission_enabled.
+  std::unique_ptr<DegradationFsm> degrade_;
+  std::vector<std::unique_ptr<AdmissionGate>> gates_;  // Per CC.
+  /// Watchdog pre-trip count at the last reset_stats (epoch baseline).
+  std::uint64_t pre_trip_base_ = 0;
+
   std::vector<std::unique_ptr<InjectNi>> request_inject_;  // Per CC.
   std::vector<std::unique_ptr<EjectNi>> request_eject_;    // Per MC.
   std::vector<std::unique_ptr<InjectNi>> reply_inject_;    // Per MC.
@@ -210,6 +252,8 @@ class GpgpuSim {
     std::uint64_t mc_stall_cycles = 0;
     std::uint64_t retransmits = 0;
     std::uint64_t flits_corrupted = 0;
+    std::uint64_t requests_shed = 0;
+    std::uint64_t pre_trips = 0;
   };
   ObsBaseline capture_obs_baseline() const;
   void take_sample();

@@ -108,6 +108,23 @@ std::string metrics_to_json(const Metrics& m, int indent) {
   num("credits_lost", static_cast<double>(m.credits_lost));
   num("link_stall_events", static_cast<double>(m.link_stall_events));
   num("port_failures", static_cast<double>(m.port_failures));
+  num("requests_offered", static_cast<double>(m.requests_offered));
+  num("requests_completed", static_cast<double>(m.requests_completed));
+  num("requests_shed", static_cast<double>(m.requests_shed));
+  num("requests_deferred", static_cast<double>(m.requests_deferred));
+  num("queue_drops", static_cast<double>(m.queue_drops));
+  num("offered_rate", m.offered_rate);
+  num("goodput", m.goodput);
+  num("e2e_latency_p50", m.e2e_latency_p50);
+  num("e2e_latency_p99", m.e2e_latency_p99);
+  num("e2e_latency_p999", m.e2e_latency_p999);
+  num("request_latency_p999", m.request_latency_p999);
+  num("reply_latency_p999", m.reply_latency_p999);
+  num("degrade_transitions", static_cast<double>(m.degrade_transitions));
+  num("cycles_normal", static_cast<double>(m.cycles_normal));
+  num("cycles_throttled", static_cast<double>(m.cycles_throttled));
+  num("cycles_shedding", static_cast<double>(m.cycles_shedding));
+  num("watchdog_pre_trips", static_cast<double>(m.watchdog_pre_trips));
   num("retx_flits", static_cast<double>(m.activity.noc_retx_flits));
   num("energy_dynamic_nj", m.energy.dynamic_nj());
   num("energy_static_nj", m.energy.static_nj);

@@ -59,7 +59,9 @@ std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
   os << "point,scheme,benchmark,cycles,ipc,request_latency,reply_latency,"
         "mc_stall_cycles,reply_injection_util,reply_internal_util,"
         "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj,"
-        "reply_latency_p50,reply_latency_p95,reply_latency_p99,error\n";
+        "reply_latency_p50,reply_latency_p95,reply_latency_p99,"
+        "reply_latency_p999,offered_rate,goodput,requests_shed,"
+        "e2e_latency_p99,cycles_degraded,error\n";
   for (const SweepCell& c : cells) {
     const Metrics& m = c.metrics;
     const std::string error =
@@ -72,6 +74,10 @@ std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
        << m.l2_hit_rate << ',' << m.dram_row_hit_rate << ','
        << m.energy.total_nj() << ',' << m.reply_latency_p50 << ','
        << m.reply_latency_p95 << ',' << m.reply_latency_p99 << ','
+       << m.reply_latency_p999 << ',' << m.offered_rate << ','
+       << m.goodput << ',' << m.requests_shed << ','
+       << m.e2e_latency_p99 << ','
+       << (m.cycles_throttled + m.cycles_shedding) << ','
        << csv_escape(error) << '\n';
   }
   return os.str();

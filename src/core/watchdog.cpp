@@ -36,6 +36,22 @@ WatchdogTripKind Watchdog::poll(Cycle now,
     seen_movement_ = true;
   }
 
+  // Pre-trip warning: raise once the stall streak or the oldest packet's
+  // age crosses `pre_trip_frac` of the corresponding trip threshold. The
+  // degradation FSM and telemetry consume this as an early-pressure signal.
+  const Cycle stall_warn = static_cast<Cycle>(
+      static_cast<double>(p_.deadlock_window) * p_.pre_trip_frac);
+  const Cycle age_warn = static_cast<Cycle>(
+      static_cast<double>(p_.livelock_age) * p_.pre_trip_frac);
+  const bool stall_hot =
+      obs.live_packets > 0 && stall_warn > 0 && now - last_progress_ >= stall_warn;
+  const bool age_hot = obs.has_oldest && age_warn > 0 &&
+                       now >= obs.oldest_created &&
+                       now - obs.oldest_created >= age_warn;
+  const bool warn = stall_hot || age_hot;
+  if (warn && !warning_active_) ++pre_trip_count_;
+  warning_active_ = warn;
+
   if (obs.live_packets > 0 && now - last_progress_ >= p_.deadlock_window) {
     std::ostringstream os;
     os << "no flit movement for " << (now - last_progress_) << " cycles (window "

@@ -57,6 +57,10 @@ struct WatchdogParams {
   Cycle livelock_age = 50000;    ///< Per-packet age ceiling.
   Cycle audit_interval = 0;      ///< Credit-invariant audit period; 0 = off.
   Cycle check_interval = 64;     ///< Poll subsampling (cheapness).
+  /// Pre-trip warning fraction: a warning raises once a stall/age streak
+  /// passes this fraction of its trip threshold, so reactive layers (the
+  /// admission degradation FSM, telemetry) can act *before* a hard trip.
+  double pre_trip_frac = 0.5;
 };
 
 class Watchdog {
@@ -82,6 +86,15 @@ class Watchdog {
   const std::string& detail() const { return detail_; }
   const WatchdogParams& params() const { return p_; }
 
+  /// True while the current stall streak (or oldest-packet age) exceeds
+  /// `pre_trip_frac` of its trip threshold — the system is drifting toward
+  /// a hard trip but has not reached it. Level signal; clears when the
+  /// streak resets. Updated on poll() subsample cycles only.
+  bool warning_active() const { return warning_active_; }
+
+  /// Number of times warning_active() rose (edge-counted), for telemetry.
+  std::uint64_t pre_trip_count() const { return pre_trip_count_; }
+
  private:
   WatchdogParams p_;
   Cycle last_check_ = 0;
@@ -89,6 +102,8 @@ class Watchdog {
   Cycle last_progress_ = 0;
   std::uint64_t last_movement_ = 0;
   bool seen_movement_ = false;
+  bool warning_active_ = false;
+  std::uint64_t pre_trip_count_ = 0;
   std::string detail_;
 };
 

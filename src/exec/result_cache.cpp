@@ -96,6 +96,23 @@ std::string serialize_metrics(const Metrics& m) {
   u("credits_lost", m.credits_lost);
   u("link_stall_events", m.link_stall_events);
   u("port_failures", m.port_failures);
+  u("requests_offered", m.requests_offered);
+  u("requests_completed", m.requests_completed);
+  u("requests_shed", m.requests_shed);
+  u("requests_deferred", m.requests_deferred);
+  u("queue_drops", m.queue_drops);
+  d("offered_rate", m.offered_rate);
+  d("goodput", m.goodput);
+  d("e2e_latency_p50", m.e2e_latency_p50);
+  d("e2e_latency_p99", m.e2e_latency_p99);
+  d("e2e_latency_p999", m.e2e_latency_p999);
+  d("request_latency_p999", m.request_latency_p999);
+  d("reply_latency_p999", m.reply_latency_p999);
+  u("degrade_transitions", m.degrade_transitions);
+  u("cycles_normal", m.cycles_normal);
+  u("cycles_throttled", m.cycles_throttled);
+  u("cycles_shedding", m.cycles_shedding);
+  u("watchdog_pre_trips", m.watchdog_pre_trips);
   u("act_noc_link_flits", m.activity.noc_link_flits);
   u("act_noc_buffer_ops", m.activity.noc_buffer_ops);
   u("act_noc_crossbar", m.activity.noc_crossbar);
@@ -161,6 +178,23 @@ std::optional<Metrics> deserialize_metrics(const std::string& text) {
         want_u("credits_lost", m.credits_lost) ||
         want_u("link_stall_events", m.link_stall_events) ||
         want_u("port_failures", m.port_failures) ||
+        want_u("requests_offered", m.requests_offered) ||
+        want_u("requests_completed", m.requests_completed) ||
+        want_u("requests_shed", m.requests_shed) ||
+        want_u("requests_deferred", m.requests_deferred) ||
+        want_u("queue_drops", m.queue_drops) ||
+        want_d("offered_rate", m.offered_rate) ||
+        want_d("goodput", m.goodput) ||
+        want_d("e2e_latency_p50", m.e2e_latency_p50) ||
+        want_d("e2e_latency_p99", m.e2e_latency_p99) ||
+        want_d("e2e_latency_p999", m.e2e_latency_p999) ||
+        want_d("request_latency_p999", m.request_latency_p999) ||
+        want_d("reply_latency_p999", m.reply_latency_p999) ||
+        want_u("degrade_transitions", m.degrade_transitions) ||
+        want_u("cycles_normal", m.cycles_normal) ||
+        want_u("cycles_throttled", m.cycles_throttled) ||
+        want_u("cycles_shedding", m.cycles_shedding) ||
+        want_u("watchdog_pre_trips", m.watchdog_pre_trips) ||
         want_u("act_noc_link_flits", m.activity.noc_link_flits) ||
         want_u("act_noc_buffer_ops", m.activity.noc_buffer_ops) ||
         want_u("act_noc_crossbar", m.activity.noc_crossbar) ||
@@ -187,8 +221,8 @@ std::optional<Metrics> deserialize_metrics(const std::string& text) {
     }
     if (!matched) return std::nullopt;  // Unknown field: stale layout.
   }
-  // 43 scalar fields + 12 array slots; anything short is a truncated entry.
-  if (fields != 55) return std::nullopt;
+  // 60 scalar fields + 12 array slots; anything short is a truncated entry.
+  if (fields != 72) return std::nullopt;
   return m;
 }
 

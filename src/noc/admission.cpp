@@ -1,0 +1,119 @@
+#include "noc/admission.hpp"
+
+#include <algorithm>
+
+namespace arinoc {
+
+const char* degrade_state_name(DegradeState s) {
+  switch (s) {
+    case DegradeState::kNormal: return "normal";
+    case DegradeState::kThrottled: return "throttled";
+    case DegradeState::kShedding: return "shedding";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------ DegradationFsm
+
+void DegradationFsm::update(Cycle now, double reply_occ, bool pre_trip) {
+  ++cycles_in_[static_cast<std::size_t>(state_)];
+
+  const bool dwelled = now - entered_at_ >= p_.dwell;
+  if (!dwelled) return;
+
+  switch (state_) {
+    case DegradeState::kNormal:
+      if (reply_occ >= p_.throttle_occ || pre_trip) {
+        transition(DegradeState::kThrottled, now);
+      }
+      break;
+    case DegradeState::kThrottled:
+      if (reply_occ >= p_.shed_occ || pre_trip) {
+        transition(DegradeState::kShedding, now);
+      } else if (reply_occ <= p_.recover_occ) {
+        transition(DegradeState::kNormal, now);
+      }
+      break;
+    case DegradeState::kShedding:
+      // Recovery is stepwise (SHEDDING -> THROTTLED -> NORMAL), each step
+      // hysteretic: the occupancy must fall below the *recovery* threshold,
+      // well under the threshold that caused the escalation, and the
+      // pre-trip warning must have cleared.
+      if (reply_occ <= p_.recover_occ && !pre_trip) {
+        transition(DegradeState::kThrottled, now);
+      }
+      break;
+  }
+}
+
+void DegradationFsm::transition(DegradeState next, Cycle now) {
+  state_ = next;
+  entered_at_ = now;
+  ++transitions_;
+}
+
+// -------------------------------------------------------------- AdmissionGate
+
+namespace {
+constexpr double kQ32 = 4294967296.0;
+
+std::uint64_t to_q32(double x) {
+  return static_cast<std::uint64_t>(std::clamp(x, 0.0, 1.0) * kQ32);
+}
+}  // namespace
+
+AdmissionGate::AdmissionGate(const AdmissionParams& p,
+                             const DegradationFsm* fsm)
+    : p_(p),
+      fsm_(fsm),
+      rate_q32_(to_q32(p.rate)),
+      throttled_rate_q32_(to_q32(p.rate * p.throttle_factor)),
+      tokens_q32_(static_cast<std::uint64_t>(p.burst) << 32),
+      cap_q32_(static_cast<std::uint64_t>(std::max<std::uint32_t>(p.burst, 1))
+               << 32) {}
+
+void AdmissionGate::refill(Cycle now) {
+  if (now <= last_refill_) return;
+  const Cycle elapsed = now - last_refill_;
+  last_refill_ = now;
+  std::uint64_t step = rate_q32_;
+  switch (fsm_->state()) {
+    case DegradeState::kNormal: break;
+    case DegradeState::kThrottled: step = throttled_rate_q32_; break;
+    case DegradeState::kShedding: step = 0; break;
+  }
+  if (step == 0) return;
+  // Chunked so rate * elapsed cannot overflow (rate <= 2^32, chunk <= 2^28).
+  Cycle left = elapsed;
+  while (left > 0) {
+    const Cycle chunk = std::min<Cycle>(left, 1ull << 28);
+    tokens_q32_ = std::min(cap_q32_, tokens_q32_ + step * chunk);
+    left -= chunk;
+    if (tokens_q32_ == cap_q32_) break;
+  }
+}
+
+AdmissionDecision AdmissionGate::request(Cycle now) {
+  const DegradeState state = fsm_->state();
+  if (state == DegradeState::kShedding) {
+    ++shed_;
+    return AdmissionDecision::kShed;
+  }
+  refill(now);
+  constexpr std::uint64_t kOne = 1ull << 32;
+  if (tokens_q32_ >= kOne) {
+    tokens_q32_ -= kOne;
+    ++admitted_;
+    return AdmissionDecision::kAdmit;
+  }
+  ++deferred_;
+  return AdmissionDecision::kDefer;
+}
+
+void AdmissionGate::refund_admit() {
+  constexpr std::uint64_t kOne = 1ull << 32;
+  tokens_q32_ = std::min(cap_q32_, tokens_q32_ + kOne);
+  if (admitted_ > 0) --admitted_;
+}
+
+}  // namespace arinoc

@@ -62,7 +62,6 @@ void FaultInjector::begin_cycle(Cycle now) {
   changed_.clear();
   for (const std::size_t idx : link_order_) {
     LinkState& l = links_[idx];
-    const bool was_blocked = l.failed || l.stalled_until > now;
     l.corrupt_now = false;
     l.drop_credit_now = false;
     // Draw order per link is fixed: corrupt, stall, port-fail, credit-loss.
@@ -86,8 +85,13 @@ void FaultInjector::begin_cycle(Cycle now) {
       l.drop_credit_now = true;
       mix_digest(kFaultCreditLoss, now, idx);
     }
+    // Diff against the state the routers last saw, not a recomputation at
+    // the current cycle: a stall whose window expires exactly now would
+    // otherwise read as "was already unblocked" and the unblock transition
+    // would never be pushed, leaving the link blocked forever.
     const bool blocked = l.failed || l.stalled_until > now;
-    if (blocked != was_blocked) {
+    if (blocked != l.blocked_reported) {
+      l.blocked_reported = blocked;
       changed_.emplace_back(static_cast<NodeId>(idx / kNumDirections),
                             static_cast<int>(idx % kNumDirections));
     }

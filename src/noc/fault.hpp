@@ -146,6 +146,7 @@ class FaultInjector {
     Cycle stalled_until = 0;
     bool corrupt_now = false;
     bool drop_credit_now = false;
+    bool blocked_reported = false;  ///< Last blocked state pushed to routers.
   };
 
   LinkState& link(NodeId src, int dir) {

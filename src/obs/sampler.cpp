@@ -17,7 +17,9 @@ std::string sample_json(const TelemetrySample& s) {
       "\"request_link_util\":%.6g,\"reply_link_util\":%.6g,"
       "\"ni_occupancy_pkts\":%.6g,\"buffered_flits\":%llu,"
       "\"mc_stall_rate\":%.6g,\"live_packets\":%llu,"
-      "\"retransmits\":%llu,\"flits_corrupted\":%llu}",
+      "\"retransmits\":%llu,\"flits_corrupted\":%llu,"
+      "\"degrade_state\":%d,\"requests_shed\":%llu,"
+      "\"pre_trip_warnings\":%llu}",
       static_cast<unsigned long long>(s.cycle),
       static_cast<unsigned long long>(s.window), s.ipc,
       s.request_inject_rate, s.request_deliver_rate, s.reply_inject_rate,
@@ -25,7 +27,9 @@ std::string sample_json(const TelemetrySample& s) {
       s.ni_occupancy_pkts, static_cast<unsigned long long>(s.buffered_flits),
       s.mc_stall_rate, static_cast<unsigned long long>(s.live_packets),
       static_cast<unsigned long long>(s.retransmits),
-      static_cast<unsigned long long>(s.flits_corrupted));
+      static_cast<unsigned long long>(s.flits_corrupted), s.degrade_state,
+      static_cast<unsigned long long>(s.requests_shed),
+      static_cast<unsigned long long>(s.pre_trip_warnings));
   return buf;
 }
 
@@ -47,12 +51,13 @@ std::string TelemetrySampler::to_csv() const {
   os << "cycle,window,ipc,request_inject_rate,request_deliver_rate,"
         "reply_inject_rate,reply_deliver_rate,request_link_util,"
         "reply_link_util,ni_occupancy_pkts,buffered_flits,mc_stall_rate,"
-        "live_packets,retransmits,flits_corrupted\n";
+        "live_packets,retransmits,flits_corrupted,degrade_state,"
+        "requests_shed,pre_trip_warnings\n";
   char buf[640];
   for (const TelemetrySample& s : samples_) {
     std::snprintf(buf, sizeof(buf),
                   "%llu,%llu,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%llu,"
-                  "%.6g,%llu,%llu,%llu\n",
+                  "%.6g,%llu,%llu,%llu,%d,%llu,%llu\n",
                   static_cast<unsigned long long>(s.cycle),
                   static_cast<unsigned long long>(s.window), s.ipc,
                   s.request_inject_rate, s.request_deliver_rate,
@@ -62,7 +67,10 @@ std::string TelemetrySampler::to_csv() const {
                   s.mc_stall_rate,
                   static_cast<unsigned long long>(s.live_packets),
                   static_cast<unsigned long long>(s.retransmits),
-                  static_cast<unsigned long long>(s.flits_corrupted));
+                  static_cast<unsigned long long>(s.flits_corrupted),
+                  s.degrade_state,
+                  static_cast<unsigned long long>(s.requests_shed),
+                  static_cast<unsigned long long>(s.pre_trip_warnings));
     os << buf;
   }
   return os.str();

@@ -39,6 +39,9 @@ struct TelemetrySample {
   std::uint64_t live_packets = 0;          ///< Outstanding memory transactions.
   std::uint64_t retransmits = 0;           ///< Retransmissions this window.
   std::uint64_t flits_corrupted = 0;       ///< Corruption events this window.
+  int degrade_state = 0;                   ///< DegradeState at window close.
+  std::uint64_t requests_shed = 0;         ///< Requests shed this window.
+  std::uint64_t pre_trip_warnings = 0;     ///< Watchdog warnings this window.
 };
 
 class TelemetrySampler {

@@ -1,0 +1,160 @@
+#include "workloads/openloop.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace arinoc {
+
+namespace {
+
+/// SplitMix64 finalizer — decorrelates per-client RNG streams from the run
+/// seed without consuming draws from a shared generator.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kQ32One = 1ull << 32;
+
+/// At most this many issue attempts per cycle: steady state needs one
+/// (arrival rate is clamped to <= 1/cycle), the rest drains backlog after
+/// backpressure clears without unbounded per-cycle work.
+constexpr int kMaxIssuesPerCycle = 4;
+
+}  // namespace
+
+OpenLoopClient::OpenLoopClient(const Config& cfg, std::uint32_t client_id,
+                               NodeId node, const PaceProfile* pace,
+                               TxnPool* txns, const AddressMap* amap,
+                               const std::vector<NodeId>* mc_nodes,
+                               RequestPort* request_port, AdmissionGate* gate)
+    : cfg_(cfg),
+      client_id_(client_id),
+      node_(node),
+      pace_(pace),
+      txns_(txns),
+      amap_(amap),
+      mc_nodes_(mc_nodes),
+      request_port_(request_port),
+      gate_(gate),
+      // Per-node phase offset: clients cross the arrival threshold on
+      // different cycles even under identical rates.
+      arrival_accum_q32_(mix64(cfg.seed ^ (0xA11C0ull + node)) & 0xffffffffull),
+      rng_(mix64(cfg.seed ^ (0x0137EA11ull + node))),
+      region_base_(static_cast<Addr>(client_id) << 24),  // 16 MiB apart.
+      region_bytes_(Addr{1} << 20) {}                    // 1 MiB working set.
+
+Addr OpenLoopClient::next_address() {
+  // Mostly streaming (DRAM row locality), occasional random jump so the
+  // request stream touches every MC/bank like real serving traffic.
+  if (rng_.chance(0.1)) {
+    cursor_ = (rng_.next() % region_bytes_) & ~static_cast<Addr>(cfg_.line_bytes - 1);
+  } else {
+    cursor_ += cfg_.line_bytes;
+    if (cursor_ >= region_bytes_) cursor_ = 0;
+  }
+  return region_base_ + cursor_;
+}
+
+void OpenLoopClient::generate_arrivals(Cycle now) {
+  const double rate = pace_->rate_at(now, cfg_.pace_scale);
+  arrival_accum_q32_ +=
+      static_cast<std::uint64_t>(std::clamp(rate, 0.0, 1.0) * 4294967296.0);
+  while (arrival_accum_q32_ >= kQ32One) {
+    arrival_accum_q32_ -= kQ32One;
+    ++offered_;
+    if (pending_.size() >= cfg_.ol_queue_cap) {
+      // Front-door overflow: the arrival is lost, not queued.
+      ++queue_drops_;
+      ++shed_;
+      continue;
+    }
+    PendingReq req;
+    req.arrival = now;
+    req.line = amap_->line_of(next_address());
+    req.write = rng_.chance(cfg_.ol_write_frac);
+    pending_.push_back(req);
+  }
+}
+
+bool OpenLoopClient::try_issue_head(Cycle now) {
+  PendingReq& head = pending_.front();
+  if (head.next_try > now) return false;  // Backing off after a defer.
+
+  if (gate_ != nullptr) {
+    switch (gate_->request(now)) {
+      case AdmissionDecision::kAdmit:
+        break;
+      case AdmissionDecision::kDefer: {
+        ++defer_events_;
+        ++head.denials;
+        if (head.denials > cfg_.adm_retry_max) {
+          ++shed_;
+          pending_.pop_front();
+          return true;  // Head consumed; the next request may proceed.
+        }
+        // Exponential backoff, capped at 2^6 * base.
+        const Cycle shift = std::min<std::uint32_t>(head.denials - 1, 6);
+        head.next_try = now + (cfg_.adm_backoff << shift);
+        return false;
+      }
+      case AdmissionDecision::kShed:
+        ++shed_;
+        pending_.pop_front();
+        return true;
+    }
+  }
+
+  const std::uint32_t mc = amap_->mc_of(head.line);
+  const NodeId dest = (*mc_nodes_)[mc];
+  MemTxn txn;
+  txn.line = head.line;
+  txn.src_cc = node_;
+  txn.dest_mc = dest;
+  txn.write = head.write;
+  txn.core = client_id_;
+  txn.issued = now;
+  txn.mshr_key = head.line;
+  const TxnId id = txns_->create(txn);
+  if (!request_port_->try_send_request(head.write, id, dest, now)) {
+    // NI backpressure: not an admission event — refund the token so the
+    // gate only charges requests that actually entered the fabric.
+    txns_->retire(id);
+    if (gate_ != nullptr) gate_->refund_admit();
+    return false;
+  }
+  outstanding_.emplace(id, head.arrival);
+  pending_.pop_front();
+  return true;
+}
+
+void OpenLoopClient::cycle(Cycle now) {
+  generate_arrivals(now);
+  for (int i = 0; i < kMaxIssuesPerCycle && !pending_.empty(); ++i) {
+    if (!try_issue_head(now)) break;
+  }
+}
+
+void OpenLoopClient::deliver(const Packet& pkt, Cycle now) {
+  assert(is_reply(pkt.type));
+  const auto it = outstanding_.find(pkt.txn);
+  if (it != outstanding_.end()) {
+    ++completed_;
+    e2e_.add(static_cast<double>(now - it->second));
+    outstanding_.erase(it);
+  }
+  txns_->retire(pkt.txn);
+}
+
+void OpenLoopClient::reset_stats() {
+  e2e_.reset();
+  offered_ = 0;
+  completed_ = 0;
+  shed_ = 0;
+  queue_drops_ = 0;
+  defer_events_ = 0;
+}
+
+}  // namespace arinoc

@@ -1,0 +1,117 @@
+// Open-loop serving clients (overload robustness layer).
+//
+// One OpenLoopClient per CC node replaces the SIMT core when
+// Config::open_loop is set: instead of warps that stall on outstanding
+// loads (closed loop — the workload self-throttles at capacity), the client
+// generates memory requests at the rate a PaceProfile schedules,
+// independent of how the system is coping. Arrivals that cannot enter the
+// fabric queue up in the client; under sustained overload the queue grows
+// without bound (capped at `queue_cap`, beyond which arrivals are dropped
+// and counted) — exactly the behaviour of a service front door under more
+// offered load than it can serve.
+//
+// The client is also the reply-side PacketSink for its node, so it owns
+// end-to-end latency accounting: each sample runs from the request's
+// *scheduled arrival* (not NI accept) to reply delivery, making queueing
+// delay — the quantity SLOs are written against — part of the measurement.
+//
+// With an AdmissionGate attached, every send attempt first asks admission:
+//  * admit — the request proceeds to the NI (a failed NI accept refunds the
+//    token so admission never double-charges backpressure);
+//  * defer — the request stays queued and backs off exponentially
+//    (base * 2^denials, capped); after `retry_max` denials it is shed;
+//  * shed  — the request is dropped on the spot and counted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "gpu/core.hpp"
+#include "mem/address_map.hpp"
+#include "mem/txn.hpp"
+#include "noc/admission.hpp"
+#include "noc/ni.hpp"
+#include "workloads/pace.hpp"
+
+namespace arinoc {
+
+class OpenLoopClient : public PacketSink {
+ public:
+  OpenLoopClient(const Config& cfg, std::uint32_t client_id, NodeId node,
+                 const PaceProfile* pace, TxnPool* txns,
+                 const AddressMap* amap, const std::vector<NodeId>* mc_nodes,
+                 RequestPort* request_port, AdmissionGate* gate);
+
+  /// One interconnect cycle: accrue scheduled arrivals, then try to move
+  /// queued requests through admission and into the request NI.
+  void cycle(Cycle now);
+
+  // ---- PacketSink (reply-network ejection side) ----
+  void deliver(const Packet& pkt, Cycle now) override;
+
+  // ---- Serving stats ----
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t completed() const { return completed_; }
+  /// Dropped requests: admission sheds + retry exhaustion + queue overflow.
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t queue_drops() const { return queue_drops_; }
+  /// Admission defer events (each backoff round counts once).
+  std::uint64_t defer_events() const { return defer_events_; }
+  std::size_t backlog() const { return pending_.size(); }
+  std::size_t in_flight() const { return outstanding_.size(); }
+  /// Scheduled-arrival -> reply-delivery latency distribution.
+  const LogHistogram& e2e_latency() const { return e2e_; }
+  void reset_stats();
+
+  NodeId node() const { return node_; }
+
+ private:
+  struct PendingReq {
+    Cycle arrival;             ///< Scheduled arrival cycle.
+    Addr line;                 ///< Line-aligned target address.
+    bool write;
+    std::uint32_t denials = 0; ///< Admission defer count (backoff driver).
+    Cycle next_try = 0;        ///< Earliest re-attempt after a defer.
+  };
+
+  void generate_arrivals(Cycle now);
+  Addr next_address();
+  /// Attempts to issue the queue head; returns false when the head must
+  /// stay (backoff pending, admission defer, or NI backpressure).
+  bool try_issue_head(Cycle now);
+
+  Config cfg_;
+  std::uint32_t client_id_;
+  NodeId node_;
+  const PaceProfile* pace_;
+  TxnPool* txns_;
+  const AddressMap* amap_;
+  const std::vector<NodeId>* mc_nodes_;
+  RequestPort* request_port_;
+  AdmissionGate* gate_;  ///< Null when admission is disabled.
+
+  // Deterministic arrival schedule: Q32 accumulator, seeded with a per-node
+  // phase offset so clients do not inject in lockstep.
+  std::uint64_t arrival_accum_q32_;
+  Xoshiro256 rng_;
+  Addr region_base_;   ///< Private address region of this client.
+  Addr region_bytes_;
+  Addr cursor_ = 0;    ///< Streaming pointer within the region.
+
+  std::deque<PendingReq> pending_;
+  std::unordered_map<TxnId, Cycle> outstanding_;  ///< Txn -> arrival cycle.
+
+  LogHistogram e2e_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t queue_drops_ = 0;
+  std::uint64_t defer_events_ = 0;
+};
+
+}  // namespace arinoc

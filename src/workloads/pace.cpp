@@ -1,0 +1,287 @@
+#include "workloads/pace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace arinoc {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Splits "key=value" pairs after the leading base rate.
+struct SpecParams {
+  double base = 0.0;
+  std::vector<std::pair<std::string, double>> kv;
+};
+
+SpecParams parse_params(const std::string& spec, const std::string& body) {
+  SpecParams out;
+  std::istringstream is(body);
+  std::string tok;
+  bool first = true;
+  while (std::getline(is, tok, ',')) {
+    if (first) {
+      first = false;
+      char* end = nullptr;
+      out.base = std::strtod(tok.c_str(), &end);
+      if (end == tok.c_str() || *end != '\0') {
+        throw std::invalid_argument("pace spec '" + spec +
+                                    "': expected a base rate, got '" + tok +
+                                    "'");
+      }
+      continue;
+    }
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("pace spec '" + spec +
+                                  "': expected key=value, got '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0') {
+      throw std::invalid_argument("pace spec '" + spec + "': bad value for '" +
+                                  key + "'");
+    }
+    out.kv.emplace_back(key, v);
+  }
+  if (first) {
+    throw std::invalid_argument("pace spec '" + spec + "': missing base rate");
+  }
+  if (!(out.base >= 0.0) || out.base > 1.0) {
+    throw std::invalid_argument(
+        "pace spec '" + spec +
+        "': base rate must be in [0, 1] requests/cycle/CC");
+  }
+  return out;
+}
+
+[[noreturn]] void unknown_key(const std::string& spec, const std::string& key) {
+  throw std::invalid_argument("pace spec '" + spec + "': unknown parameter '" +
+                              key + "'");
+}
+
+bool looks_like_path(const std::string& spec) {
+  if (spec.find('/') != std::string::npos) return true;
+  const std::string suffix = ".pace";
+  return spec.size() > suffix.size() &&
+         spec.compare(spec.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+const char* pace_kind_name(PaceKind k) {
+  switch (k) {
+    case PaceKind::kConstant: return "constant";
+    case PaceKind::kDiurnal: return "diurnal";
+    case PaceKind::kBurst: return "burst";
+    case PaceKind::kFlashCrowd: return "flash";
+    case PaceKind::kFile: return "file";
+  }
+  return "?";
+}
+
+PaceProfile::PaceProfile(double rate) : base_(rate) {}
+
+PaceProfile PaceProfile::parse_spec(const std::string& spec) {
+  if (spec.empty()) {
+    throw std::invalid_argument("pace spec is empty");
+  }
+  if (looks_like_path(spec)) return load(spec);
+
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument(
+        "pace spec '" + spec +
+        "': expected <kind>:<rate>[,key=value...] or a pace-file path");
+  }
+  const std::string kind = spec.substr(0, colon);
+  const SpecParams p = parse_params(spec, spec.substr(colon + 1));
+
+  PaceProfile out(p.base);
+  if (kind == "constant") {
+    out.kind_ = PaceKind::kConstant;
+    if (!p.kv.empty()) unknown_key(spec, p.kv.front().first);
+  } else if (kind == "diurnal") {
+    out.kind_ = PaceKind::kDiurnal;
+    for (const auto& [k, v] : p.kv) {
+      if (k == "period") out.period_ = static_cast<Cycle>(v);
+      else if (k == "amp") out.amp_ = v;
+      else unknown_key(spec, k);
+    }
+    if (out.amp_ < 0.0 || out.amp_ > 1.0) {
+      throw std::invalid_argument("pace spec '" + spec +
+                                  "': amp must be in [0, 1]");
+    }
+  } else if (kind == "burst") {
+    out.kind_ = PaceKind::kBurst;
+    for (const auto& [k, v] : p.kv) {
+      if (k == "period") out.period_ = static_cast<Cycle>(v);
+      else if (k == "duty") out.duty_ = v;
+      else if (k == "peak") out.peak_ = v;
+      else unknown_key(spec, k);
+    }
+    if (out.duty_ <= 0.0 || out.duty_ >= 1.0) {
+      throw std::invalid_argument("pace spec '" + spec +
+                                  "': duty must be in (0, 1)");
+    }
+    if (out.peak_ < 1.0) {
+      throw std::invalid_argument("pace spec '" + spec +
+                                  "': peak must be >= 1");
+    }
+  } else if (kind == "flash") {
+    out.kind_ = PaceKind::kFlashCrowd;
+    for (const auto& [k, v] : p.kv) {
+      if (k == "at") out.flash_at_ = static_cast<Cycle>(v);
+      else if (k == "len") out.flash_len_ = static_cast<Cycle>(v);
+      else if (k == "mult") out.flash_mult_ = v;
+      else unknown_key(spec, k);
+    }
+    if (out.flash_mult_ < 1.0) {
+      throw std::invalid_argument("pace spec '" + spec +
+                                  "': mult must be >= 1");
+    }
+  } else {
+    throw std::invalid_argument(
+        "pace spec '" + spec + "': unknown kind '" + kind +
+        "' (constant | diurnal | burst | flash | <pace file>)");
+  }
+  if (out.period_ == 0) {
+    throw std::invalid_argument("pace spec '" + spec +
+                                "': period must be >= 1 cycle");
+  }
+  return out;
+}
+
+PaceProfile PaceProfile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open pace file: " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header) || header != "arinoc-pace v1") {
+    throw std::invalid_argument(path +
+                                ": missing 'arinoc-pace v1' header line");
+  }
+  PaceProfile out(0.0);
+  out.kind_ = PaceKind::kFile;
+  out.source_ = path;
+  std::string line;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream is(line);
+    std::uint64_t cycle = 0;
+    double rate = 0.0;
+    if (!(is >> cycle)) continue;  // Blank/comment-only line.
+    if (!(is >> rate) || !(rate >= 0.0) || rate > 1.0) {
+      throw std::invalid_argument(
+          path + ":" + std::to_string(lineno) +
+          ": expected '<cycle> <rate in [0,1]>', got '" + line + "'");
+    }
+    std::string extra;
+    if (is >> extra) {
+      throw std::invalid_argument(path + ":" + std::to_string(lineno) +
+                                  ": trailing garbage '" + extra + "'");
+    }
+    if (!out.points_.empty() && cycle <= out.points_.back().cycle) {
+      throw std::invalid_argument(path + ":" + std::to_string(lineno) +
+                                  ": breakpoint cycles must be ascending");
+    }
+    out.points_.push_back({cycle, rate});
+  }
+  if (out.points_.empty()) {
+    throw std::invalid_argument(path + ": pace file has no breakpoints");
+  }
+  out.base_ = out.points_.front().rate;
+  return out;
+}
+
+double PaceProfile::rate_at(Cycle now, double scale) const {
+  double r = base_;
+  switch (kind_) {
+    case PaceKind::kConstant:
+      break;
+    case PaceKind::kDiurnal: {
+      const double phase =
+          static_cast<double>(now % period_) / static_cast<double>(period_);
+      r = base_ * (1.0 + amp_ * std::sin(kTwoPi * phase));
+      break;
+    }
+    case PaceKind::kBurst: {
+      const double phase =
+          static_cast<double>(now % period_) / static_cast<double>(period_);
+      r = phase < duty_ ? base_ * peak_ : base_;
+      break;
+    }
+    case PaceKind::kFlashCrowd:
+      if (now >= flash_at_ && now - flash_at_ < flash_len_) {
+        r = base_ * flash_mult_;
+      }
+      break;
+    case PaceKind::kFile: {
+      // Stepwise hold: the last breakpoint at or before `now`. Before the
+      // first breakpoint the first rate applies.
+      r = points_.front().rate;
+      for (const Breakpoint& bp : points_) {
+        if (bp.cycle > now) break;
+        r = bp.rate;
+      }
+      break;
+    }
+  }
+  return std::clamp(r * scale, 0.0, 1.0);
+}
+
+double PaceProfile::peak_rate() const {
+  switch (kind_) {
+    case PaceKind::kConstant: return base_;
+    case PaceKind::kDiurnal: return base_ * (1.0 + amp_);
+    case PaceKind::kBurst: return base_ * peak_;
+    case PaceKind::kFlashCrowd: return base_ * flash_mult_;
+    case PaceKind::kFile: {
+      double peak = 0.0;
+      for (const Breakpoint& bp : points_) peak = std::max(peak, bp.rate);
+      return peak;
+    }
+  }
+  return base_;
+}
+
+std::string PaceProfile::describe() const {
+  char buf[160];
+  switch (kind_) {
+    case PaceKind::kConstant:
+      std::snprintf(buf, sizeof(buf), "constant:%g", base_);
+      break;
+    case PaceKind::kDiurnal:
+      std::snprintf(buf, sizeof(buf), "diurnal:%g,period=%llu,amp=%g", base_,
+                    static_cast<unsigned long long>(period_), amp_);
+      break;
+    case PaceKind::kBurst:
+      std::snprintf(buf, sizeof(buf), "burst:%g,period=%llu,duty=%g,peak=%g",
+                    base_, static_cast<unsigned long long>(period_), duty_,
+                    peak_);
+      break;
+    case PaceKind::kFlashCrowd:
+      std::snprintf(buf, sizeof(buf), "flash:%g,at=%llu,len=%llu,mult=%g",
+                    base_, static_cast<unsigned long long>(flash_at_),
+                    static_cast<unsigned long long>(flash_len_), flash_mult_);
+      break;
+    case PaceKind::kFile:
+      std::snprintf(buf, sizeof(buf), "file:%s (%zu breakpoints)",
+                    source_.c_str(), points_.size());
+      break;
+  }
+  return buf;
+}
+
+}  // namespace arinoc

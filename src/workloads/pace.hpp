@@ -1,0 +1,97 @@
+// Pace profiles: time-varying open-loop arrival rates (overload robustness).
+//
+// A PaceProfile maps a simulation cycle to an offered request rate in
+// requests/cycle/CC-node. Closed-loop workloads can never push the fabric
+// past its service capacity — the cores stall and self-throttle — so the
+// saturation cliff the paper argues about stays invisible. An open-loop
+// profile keeps offering traffic at the scheduled rate no matter how the
+// system responds, the way "millions of users" would keep arriving at a
+// saturated service.
+//
+// Built-in shapes (all rates per CC per cycle):
+//  * constant    — flat rate.
+//  * diurnal     — sinusoidal ramp around the base rate (day/night swing).
+//  * burst       — square wave: `peak`x the base rate for `duty` of each
+//                  period, base rate otherwise (kernel-phase bursts).
+//  * flash       — flat base with one flash-crowd episode: `mult`x the base
+//                  rate during [at, at+len) (the overload event the chaos
+//                  harness drives).
+//  * file        — compact pace file of (cycle, rate) breakpoints, stepwise
+//                  (each rate holds until the next breakpoint).
+//
+// Spec strings (parse_spec):
+//   constant:0.05
+//   diurnal:0.05,period=16000,amp=0.6
+//   burst:0.05,period=4000,duty=0.25,peak=4
+//   flash:0.03,at=4000,len=3000,mult=8
+//   <path>            (anything containing '/' or ending in .pace)
+//
+// Pace file format (load):
+//   arinoc-pace v1
+//   # comment
+//   <cycle> <rate>    (ascending cycles; rate holds until the next line)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace arinoc {
+
+enum class PaceKind { kConstant, kDiurnal, kBurst, kFlashCrowd, kFile };
+
+const char* pace_kind_name(PaceKind k);
+
+class PaceProfile {
+ public:
+  /// Flat profile at `rate` requests/cycle/CC (the default).
+  explicit PaceProfile(double rate = 0.02);
+
+  /// Parses a spec string (see header comment). Specs that look like paths
+  /// (contain '/' or end in ".pace") are loaded as pace files. Throws
+  /// std::invalid_argument with a precise message on any malformed spec.
+  static PaceProfile parse_spec(const std::string& spec);
+
+  /// Loads a pace file. Throws std::invalid_argument when the file is
+  /// missing/unreadable or malformed (fail-fast: callers surface this as a
+  /// usage error before any simulation work starts).
+  static PaceProfile load(const std::string& path);
+
+  /// Offered rate at `now`, scaled by `scale` (the load factor), clamped to
+  /// [0, 1] — at most one new request per CC per cycle enters the arrival
+  /// accumulator.
+  double rate_at(Cycle now, double scale = 1.0) const;
+
+  /// Peak unscaled rate over one period/episode (sweep normalization).
+  double peak_rate() const;
+
+  PaceKind kind() const { return kind_; }
+  double base_rate() const { return base_; }
+
+  /// Human-readable one-liner ("flash:0.03,at=4000,len=3000,mult=8").
+  std::string describe() const;
+
+ private:
+  PaceKind kind_ = PaceKind::kConstant;
+  double base_ = 0.02;
+  // Diurnal / burst shape.
+  Cycle period_ = 16000;
+  double amp_ = 0.6;    ///< Diurnal swing fraction of base.
+  double duty_ = 0.25;  ///< Burst high-phase fraction of the period.
+  double peak_ = 4.0;   ///< Burst high-phase multiplier.
+  // Flash crowd episode.
+  Cycle flash_at_ = 4000;
+  Cycle flash_len_ = 3000;
+  double flash_mult_ = 8.0;
+  // File-driven breakpoints (ascending, stepwise-held).
+  struct Breakpoint {
+    Cycle cycle;
+    double rate;
+  };
+  std::vector<Breakpoint> points_;
+  std::string source_;  ///< Pace-file path, for describe().
+};
+
+}  // namespace arinoc

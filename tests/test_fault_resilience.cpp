@@ -10,6 +10,7 @@
 #include "core/report.hpp"
 #include "core/watchdog.hpp"
 #include "noc/fault.hpp"
+#include "noc/topology.hpp"
 
 namespace arinoc {
 namespace {
@@ -320,6 +321,64 @@ TEST(FaultConfig, EnableMaskGatesFaultClasses) {
   EXPECT_FALSE(cfg.fault_enabled());
   cfg.fault_enable_mask = kFaultCorrupt;
   EXPECT_TRUE(cfg.fault_enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Stall windows must close: the injector has to push the *unblock*
+// transition when a window expires, not just the block. (Regression: the
+// old change detection recomputed "was blocked" at the current cycle, so a
+// window expiring exactly then looked like no transition and the router
+// stayed blocked forever — the chaos soak wedged on this.)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, StallWindowsUnblockAfterExpiry) {
+  Mesh mesh(4, 4, 4);
+  FaultParams p;
+  p.link_stall_rate = 5e-3;
+  p.link_stall_len = 20;
+  FaultInjector fi(p, &mesh);
+
+  Cycle now = 0;
+  NodeId src = kInvalidNode;
+  int dir = -1;
+  // Drive until the first stall window opens; the block transition must be
+  // pushed that cycle.
+  while (fi.counters().stall_events == 0) {
+    ASSERT_LT(now, 10000u) << "no stall drawn at rate 5e-3";
+    fi.begin_cycle(now++);
+  }
+  ASSERT_FALSE(fi.changed_links().empty());
+  std::tie(src, dir) = fi.changed_links().front();
+  EXPECT_TRUE(fi.link_blocked(src, dir));
+
+  // The window holds for link_stall_len cycles and then must report the
+  // unblock transition for the same link.
+  bool unblocked = false;
+  for (Cycle end = now + 2 * p.link_stall_len; now < end && !unblocked;
+       ++now) {
+    fi.begin_cycle(now);
+    for (const auto& [n, d] : fi.changed_links()) {
+      if (n == src && d == dir && !fi.link_blocked(n, d)) unblocked = true;
+    }
+  }
+  EXPECT_TRUE(unblocked) << "stall window never reported its unblock";
+  EXPECT_FALSE(fi.link_blocked(src, dir));
+}
+
+TEST(FaultInjection, StalledFabricDrainsAfterWindowsClose) {
+  // End-to-end shape of the same contract: with only transient stalls
+  // enabled, throughput must keep flowing long after many windows opened.
+  Config cfg = apply_scheme(tiny_config(), Scheme::kAdaARI);
+  cfg.fault_link_stall_rate = 1e-4;
+  cfg.fault_enable_mask = kFaultLinkStall;
+  GpgpuSim sim(cfg, *find_benchmark("bfs"));
+  sim.run(3000);
+  const std::uint64_t mid = sim.collect().warp_instructions;
+  sim.run(3000);
+  const Metrics m = sim.collect();
+  EXPECT_GT(m.link_stall_events, 0u);
+  // Fresh progress in the second half: no creeping permanent blockage.
+  EXPECT_GT(m.warp_instructions, mid + mid / 4);
 }
 
 }  // namespace

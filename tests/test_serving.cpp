@@ -1,0 +1,391 @@
+// Serving / overload-robustness layer: pace profiles, admission control,
+// the degradation state machine, open-loop clients, and the contract that
+// the whole layer is strictly inert when disabled — admission-off runs are
+// byte-identical across every scheme no matter how the serving knobs are
+// set.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/stats.hpp"
+#include "core/gpgpu_sim.hpp"
+#include "core/report.hpp"
+#include "noc/admission.hpp"
+#include "workloads/benchmark.hpp"
+#include "workloads/pace.hpp"
+
+namespace arinoc {
+namespace {
+
+Config serving_config() {
+  Config cfg;
+  cfg.warmup_cycles = 300;
+  cfg.run_cycles = 1500;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// PaceProfile: built-in generators, spec parsing, pace files.
+// ---------------------------------------------------------------------------
+
+TEST(PaceProfile, ConstantSpec) {
+  const PaceProfile p = PaceProfile::parse_spec("constant:0.05");
+  EXPECT_EQ(p.kind(), PaceKind::kConstant);
+  EXPECT_DOUBLE_EQ(p.rate_at(0), 0.05);
+  EXPECT_DOUBLE_EQ(p.rate_at(123456), 0.05);
+  EXPECT_DOUBLE_EQ(p.rate_at(10, 2.0), 0.10);  // Load factor scales.
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 0.05);
+}
+
+TEST(PaceProfile, RateClampedToOnePerCycle) {
+  const PaceProfile p = PaceProfile::parse_spec("constant:0.5");
+  EXPECT_DOUBLE_EQ(p.rate_at(0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(0, -1.0), 0.0);
+}
+
+TEST(PaceProfile, DiurnalSwingsAroundBase) {
+  const PaceProfile p =
+      PaceProfile::parse_spec("diurnal:0.1,period=1000,amp=0.5");
+  // Quarter period = sine peak; three quarters = trough.
+  EXPECT_NEAR(p.rate_at(250), 0.15, 1e-9);
+  EXPECT_NEAR(p.rate_at(750), 0.05, 1e-9);
+  EXPECT_NEAR(p.rate_at(0), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 0.15);
+}
+
+TEST(PaceProfile, BurstSquareWave) {
+  const PaceProfile p =
+      PaceProfile::parse_spec("burst:0.02,period=1000,duty=0.25,peak=4");
+  EXPECT_DOUBLE_EQ(p.rate_at(0), 0.08);     // High phase.
+  EXPECT_DOUBLE_EQ(p.rate_at(249), 0.08);
+  EXPECT_DOUBLE_EQ(p.rate_at(250), 0.02);   // Low phase.
+  EXPECT_DOUBLE_EQ(p.rate_at(1100), 0.08);  // Periodic.
+}
+
+TEST(PaceProfile, FlashCrowdEpisode) {
+  const PaceProfile p =
+      PaceProfile::parse_spec("flash:0.03,at=4000,len=2000,mult=8");
+  EXPECT_DOUBLE_EQ(p.rate_at(3999), 0.03);
+  EXPECT_DOUBLE_EQ(p.rate_at(4000), 0.24);
+  EXPECT_DOUBLE_EQ(p.rate_at(5999), 0.24);
+  EXPECT_DOUBLE_EQ(p.rate_at(6000), 0.03);
+}
+
+TEST(PaceProfile, FileBreakpointsHoldStepwise) {
+  const std::string path = "test_pace_profile.pace";
+  {
+    std::ofstream out(path);
+    out << "arinoc-pace v1\n# ramp\n0 0.01\n1000 0.05\n3000 0.02\n";
+  }
+  const PaceProfile p = PaceProfile::load(path);
+  EXPECT_EQ(p.kind(), PaceKind::kFile);
+  EXPECT_DOUBLE_EQ(p.rate_at(0), 0.01);
+  EXPECT_DOUBLE_EQ(p.rate_at(999), 0.01);
+  EXPECT_DOUBLE_EQ(p.rate_at(1000), 0.05);
+  EXPECT_DOUBLE_EQ(p.rate_at(5000), 0.02);
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 0.05);
+  std::remove(path.c_str());
+}
+
+TEST(PaceProfile, MalformedSpecsThrow) {
+  EXPECT_THROW(PaceProfile::parse_spec(""), std::invalid_argument);
+  EXPECT_THROW(PaceProfile::parse_spec("wave:0.1"), std::invalid_argument);
+  EXPECT_THROW(PaceProfile::parse_spec("constant:"), std::invalid_argument);
+  EXPECT_THROW(PaceProfile::parse_spec("constant:-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(PaceProfile::parse_spec("burst:0.02,duty=2"),
+               std::invalid_argument);
+  EXPECT_THROW(PaceProfile::parse_spec("diurnal:0.1,amp=-3"),
+               std::invalid_argument);
+}
+
+TEST(PaceProfile, MissingOrMalformedFileThrows) {
+  EXPECT_THROW(PaceProfile::load("no/such/file.pace"), std::invalid_argument);
+  const std::string path = "test_bad_pace.pace";
+  {
+    std::ofstream out(path);
+    out << "not-a-pace-header\n0 0.01\n";
+  }
+  EXPECT_THROW(PaceProfile::load(path), std::invalid_argument);
+  {
+    std::ofstream out(path);
+    out << "arinoc-pace v1\n1000 0.05\n500 0.01\n";  // Non-ascending.
+  }
+  EXPECT_THROW(PaceProfile::load(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram tail edges (the numbers SLOs are judged on).
+// ---------------------------------------------------------------------------
+
+TEST(LogHistogramTail, EmptyHistogramReportsZero) {
+  LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(LogHistogramTail, SingleSampleIsExactAtEveryPercentile) {
+  LogHistogram h;
+  h.add(137.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.1), 137.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 137.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 137.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 137.0);
+}
+
+TEST(LogHistogramTail, P999InterpolatesInsideTheTailBucket) {
+  // 999 fast samples and one slow outlier: p99.9 lands in the outlier's
+  // bucket, interpolates inside it, and clamps to the observed max.
+  LogHistogram h;
+  for (int i = 0; i < 999; ++i) h.add(100.0);
+  h.add(10000.0);
+  const double p999 = h.percentile(99.9);
+  EXPECT_GT(p999, 100.0);
+  EXPECT_LE(p999, 10000.0);
+  // Degenerate single-value tail bucket: interpolation may not exceed max.
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10000.0);
+  // Monotonicity across the tail.
+  EXPECT_LE(h.percentile(99.0), p999);
+  EXPECT_LE(h.percentile(50.0), h.percentile(99.0));
+}
+
+TEST(LogHistogramTail, SameBucketStreamClampsToObservedRange) {
+  // All samples inside one geometric bucket: every percentile must stay
+  // within [min, max] — in-bucket interpolation cannot escape the data.
+  LogHistogram h;
+  for (int i = 0; i < 10000; ++i) h.add(100.0 + (i % 7));
+  EXPECT_GE(h.percentile(99.9), 100.0);
+  EXPECT_LE(h.percentile(99.9), 106.0);
+  EXPECT_GE(h.percentile(0.01), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation FSM: hysteresis, dwell, stepwise recovery.
+// ---------------------------------------------------------------------------
+
+AdmissionParams test_params() {
+  AdmissionParams p;
+  p.rate = 0.5;
+  p.burst = 4;
+  p.throttle_occ = 0.6;
+  p.shed_occ = 0.85;
+  p.recover_occ = 0.35;
+  p.dwell = 10;
+  return p;
+}
+
+TEST(DegradationFsm, EscalatesAndRecoversStepwise) {
+  DegradationFsm fsm(test_params());
+  Cycle now = 0;
+  // Below threshold: stays NORMAL forever.
+  for (; now < 50; ++now) fsm.update(now, 0.2, false);
+  EXPECT_EQ(fsm.state(), DegradeState::kNormal);
+  // Over the throttle threshold: escalates (after dwell).
+  for (; now < 100; ++now) fsm.update(now, 0.7, false);
+  EXPECT_EQ(fsm.state(), DegradeState::kThrottled);
+  // Over the shed threshold: escalates again.
+  for (; now < 150; ++now) fsm.update(now, 0.9, false);
+  EXPECT_EQ(fsm.state(), DegradeState::kShedding);
+  // Pressure clears: recovery steps down one level at a time (the first
+  // step lands as soon as the dwell allows; the second needs another dwell).
+  for (; now < 155; ++now) fsm.update(now, 0.1, false);
+  EXPECT_EQ(fsm.state(), DegradeState::kThrottled);
+  for (; now < 250; ++now) fsm.update(now, 0.1, false);
+  EXPECT_EQ(fsm.state(), DegradeState::kNormal);
+  EXPECT_EQ(fsm.transitions(), 4u);
+  EXPECT_GT(fsm.degraded_cycles(), 0u);
+}
+
+TEST(DegradationFsm, HysteresisBandHoldsState) {
+  DegradationFsm fsm(test_params());
+  Cycle now = 0;
+  for (; now < 50; ++now) fsm.update(now, 0.7, false);
+  ASSERT_EQ(fsm.state(), DegradeState::kThrottled);
+  // Occupancy between recover (0.35) and throttle (0.6): no flapping.
+  for (; now < 500; ++now) fsm.update(now, 0.5, false);
+  EXPECT_EQ(fsm.state(), DegradeState::kThrottled);
+  EXPECT_EQ(fsm.transitions(), 1u);
+}
+
+TEST(DegradationFsm, DwellBoundsTransitionRate) {
+  DegradationFsm fsm(test_params());
+  // Max-pressure signal the whole time: NORMAL -> THROTTLED -> SHEDDING
+  // still needs one dwell period per step.
+  for (Cycle now = 0; now < 15; ++now) fsm.update(now, 1.0, true);
+  EXPECT_EQ(fsm.state(), DegradeState::kThrottled);
+  for (Cycle now = 15; now < 25; ++now) fsm.update(now, 1.0, true);
+  EXPECT_EQ(fsm.state(), DegradeState::kShedding);
+}
+
+TEST(DegradationFsm, PreTripWarningEscalatesAndBlocksRecovery) {
+  DegradationFsm fsm(test_params());
+  Cycle now = 0;
+  // Low occupancy but the watchdog is warning: escalate anyway.
+  for (; now < 50; ++now) fsm.update(now, 0.1, true);
+  EXPECT_EQ(fsm.state(), DegradeState::kShedding);
+  // Warning still active: recovery is held off even at zero occupancy.
+  for (; now < 100; ++now) fsm.update(now, 0.0, true);
+  EXPECT_EQ(fsm.state(), DegradeState::kShedding);
+  for (; now < 150; ++now) fsm.update(now, 0.0, false);
+  EXPECT_EQ(fsm.state(), DegradeState::kNormal);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionGate: token bucket, state scaling, refunds.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionGate, BurstThenDefer) {
+  DegradationFsm fsm(test_params());
+  AdmissionGate gate(test_params(), &fsm);
+  // Bucket starts full (burst = 4): four immediate admits, then a defer.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(gate.request(0), AdmissionDecision::kAdmit);
+  }
+  EXPECT_EQ(gate.request(0), AdmissionDecision::kDefer);
+  EXPECT_EQ(gate.admitted(), 4u);
+  EXPECT_EQ(gate.deferred(), 1u);
+  // rate = 0.5: two cycles later one token has accrued.
+  EXPECT_EQ(gate.request(2), AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionGate, RefundRestoresTokenAndCount) {
+  DegradationFsm fsm(test_params());
+  AdmissionGate gate(test_params(), &fsm);
+  for (int i = 0; i < 4; ++i) gate.request(0);
+  ASSERT_EQ(gate.request(0), AdmissionDecision::kDefer);
+  gate.refund_admit();
+  EXPECT_EQ(gate.admitted(), 3u);
+  EXPECT_EQ(gate.request(0), AdmissionDecision::kAdmit);
+}
+
+TEST(AdmissionGate, SheddingStateShedsWithoutTouchingTheBucket) {
+  DegradationFsm fsm(test_params());
+  AdmissionGate gate(test_params(), &fsm);
+  for (Cycle now = 0; now < 50; ++now) fsm.update(now, 1.0, false);
+  ASSERT_EQ(fsm.state(), DegradeState::kShedding);
+  EXPECT_EQ(gate.request(50), AdmissionDecision::kShed);
+  EXPECT_EQ(gate.shed(), 1u);
+  EXPECT_EQ(gate.admitted(), 0u);
+}
+
+TEST(AdmissionGate, ThrottledStateRefillsSlower) {
+  AdmissionParams p = test_params();
+  p.rate = 0.5;
+  p.throttle_factor = 0.5;  // Throttled refill: 0.25 tokens/cycle.
+  DegradationFsm fsm(p);
+  AdmissionGate gate(p, &fsm);
+  for (Cycle now = 0; now < 50; ++now) fsm.update(now, 0.7, false);
+  ASSERT_EQ(fsm.state(), DegradeState::kThrottled);
+  // Drain the (refilled) bucket while throttled.
+  int admits = 0;
+  while (gate.request(50) == AdmissionDecision::kAdmit) ++admits;
+  EXPECT_EQ(admits, 4);  // Bucket depth unchanged by state.
+  // 2 cycles at 0.25/cycle = 0.5 tokens: not enough yet.
+  EXPECT_EQ(gate.request(52), AdmissionDecision::kDefer);
+  // 4 cycles at 0.25/cycle = 1 token.
+  EXPECT_EQ(gate.request(54), AdmissionDecision::kAdmit);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop end-to-end behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(OpenLoopServing, LowLoadGoodputTracksOffered) {
+  Config cfg = apply_scheme(serving_config(), Scheme::kAdaARI);
+  cfg.open_loop = true;
+  cfg.pace_spec = "constant:0.02";
+  GpgpuSim sim(cfg, *find_benchmark("bfs"));
+  sim.run_with_warmup();
+  const Metrics m = sim.collect();
+  EXPECT_GT(m.requests_offered, 0u);
+  EXPECT_GT(m.goodput, 0.0);
+  // Uncongested: nearly everything offered completes, nothing is shed.
+  EXPECT_GE(m.goodput, 0.85 * m.offered_rate);
+  EXPECT_EQ(m.requests_shed, 0u);
+  EXPECT_GT(m.e2e_latency_p99, 0.0);
+  EXPECT_GE(m.e2e_latency_p999, m.e2e_latency_p99);
+}
+
+TEST(OpenLoopServing, OverloadWithAdmissionShedsAndDegrades) {
+  Config cfg = apply_scheme(serving_config(), Scheme::kXYBaseline);
+  cfg.open_loop = true;
+  cfg.pace_spec = "constant:0.25";  // Far past the baseline's capacity.
+  cfg.admission_enabled = true;
+  cfg.run_cycles = 3000;
+  GpgpuSim sim(cfg, *find_benchmark("bfs"));
+  sim.run_with_warmup();
+  const Metrics m = sim.collect();
+  EXPECT_LT(m.goodput, m.offered_rate * 0.9);     // Saturated.
+  EXPECT_GT(m.requests_shed, 0u);                 // Admission shed load.
+  EXPECT_GT(m.cycles_throttled + m.cycles_shedding, 0u);
+  EXPECT_GT(m.degrade_transitions, 0u);
+}
+
+TEST(OpenLoopServing, OverlayRejectsServingLayer) {
+  Config cfg = apply_scheme(serving_config(), Scheme::kAdaARI);
+  cfg.open_loop = true;
+  EXPECT_THROW(GpgpuSim(cfg, *find_benchmark("bfs"), /*use_da2mesh=*/true),
+               std::invalid_argument);
+  Config cfg2 = apply_scheme(serving_config(), Scheme::kAdaARI);
+  cfg2.admission_enabled = true;
+  EXPECT_THROW(GpgpuSim(cfg2, *find_benchmark("bfs"), /*use_da2mesh=*/true),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+
+std::string run_serving_json(const Config& cfg) {
+  GpgpuSim sim(cfg, *find_benchmark("bfs"));
+  sim.run_with_warmup();
+  return metrics_to_json(sim.collect());
+}
+
+TEST(ServingDeterminism, OpenLoopRunsAreReproducible) {
+  Config cfg = apply_scheme(serving_config(), Scheme::kAdaARI);
+  cfg.open_loop = true;
+  cfg.pace_spec = "burst:0.03,period=400,duty=0.25,peak=4";
+  cfg.admission_enabled = true;
+  EXPECT_EQ(run_serving_json(cfg), run_serving_json(cfg));
+}
+
+TEST(ServingDeterminism, OpenLoopActivityModeBitIdentical) {
+  Config cfg = apply_scheme(serving_config(), Scheme::kAdaBaseline);
+  cfg.open_loop = true;
+  cfg.pace_spec = "constant:0.05";
+  cfg.admission_enabled = true;
+  Config on = cfg, off = cfg;
+  on.activity_driven = true;
+  off.activity_driven = false;
+  EXPECT_EQ(run_serving_json(on), run_serving_json(off));
+}
+
+TEST(ServingDeterminism, AdmissionOffIsInertAcrossAllSchemes) {
+  // The whole serving layer disabled must be strictly inert: closed-loop
+  // metrics are byte-identical no matter how the serving knobs are tuned,
+  // for every scheme. This is the "admission off == today" contract the
+  // bit-identity harness (test_activity) extends across stepping modes.
+  for (Scheme s : {Scheme::kXYBaseline, Scheme::kAdaBaseline,
+                   Scheme::kAdaMultiPort, Scheme::kAdaARI}) {
+    Config plain = apply_scheme(serving_config(), s);
+    Config tuned = plain;
+    tuned.pace_spec = "flash:0.9,at=1,len=100000,mult=1";  // Never consulted.
+    tuned.pace_scale = 7.0;
+    tuned.adm_rate = 0.01;
+    tuned.adm_burst = 1;
+    tuned.adm_throttle_occ = 0.5;
+    tuned.adm_shed_occ = 0.6;
+    tuned.adm_recover_occ = 0.1;
+    EXPECT_EQ(run_serving_json(plain), run_serving_json(tuned))
+        << scheme_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace arinoc
