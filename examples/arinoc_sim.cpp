@@ -8,6 +8,15 @@
 //                             Acc-Consume | Acc-Both-NoPriority |
 //                             Raw-Baseline          (default: Ada-ARI)
 //     --mesh <k>              k x k mesh             (default: 6)
+//     --topology <spec>       fabric: mesh | torus | cmesh[:c] |
+//                             chiplet[:CXxCY] | <topology file path>
+//                             (default: mesh; cmesh concentration c
+//                             defaults to 4, chiplet grid to 2x2 of
+//                             --mesh-sized meshes; a path loads a
+//                             file-driven fabric and sets --mcs from it)
+//     --serdes <n>            chiplet-boundary extra link latency (default 4)
+//     --emit-topology <path>  write the configured fabric as a topology
+//                             file and exit (no simulation)
 //     --mcs <n>               memory controllers     (default: 8)
 //     --vcs <n>               virtual channels       (default: 4)
 //     --cycles <n>            measured cycles        (default: 8000)
@@ -101,6 +110,8 @@
 #include "exec/runner.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "topo/fabric.hpp"
+#include "topo/file.hpp"
 #include "workloads/suite.hpp"
 #include "workloads/tracefile.hpp"
 
@@ -197,6 +208,60 @@ ObsOptions obs_from_env() {
   return obs;
 }
 
+/// Applies a --topology spec to the config: a generator keyword (with
+/// optional parameters) or a topology file path. Returns false (after
+/// printing a usage error) on a malformed generator spec.
+bool apply_topology_spec(const std::string& spec, Config& cfg) {
+  if (spec == "mesh" || spec == "torus") {
+    cfg.fabric = spec;
+    return true;
+  }
+  if (spec == "cmesh" || spec.rfind("cmesh:", 0) == 0) {
+    cfg.fabric = "cmesh";
+    if (spec.size() > 6) {
+      char* end = nullptr;
+      cfg.cmesh_concentration = static_cast<std::uint32_t>(
+          std::strtoul(spec.c_str() + 6, &end, 10));
+      if (end == nullptr || *end != '\0' || cfg.cmesh_concentration == 0) {
+        std::fprintf(stderr, "malformed cmesh spec '%s' (want cmesh[:c])\n",
+                     spec.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+  if (spec == "chiplet" || spec.rfind("chiplet:", 0) == 0) {
+    cfg.fabric = "chiplet";
+    if (spec.size() > 8) {
+      char* end = nullptr;
+      cfg.chiplets_x = static_cast<std::uint32_t>(
+          std::strtoul(spec.c_str() + 8, &end, 10));
+      if (end == nullptr || *end != 'x') {
+        std::fprintf(stderr,
+                     "malformed chiplet spec '%s' (want chiplet[:CXxCY])\n",
+                     spec.c_str());
+        return false;
+      }
+      char* end2 = nullptr;
+      cfg.chiplets_y = static_cast<std::uint32_t>(
+          std::strtoul(end + 1, &end2, 10));
+      if (end2 == nullptr || *end2 != '\0' || cfg.chiplets_x == 0 ||
+          cfg.chiplets_y == 0) {
+        std::fprintf(stderr,
+                     "malformed chiplet spec '%s' (want chiplet[:CXxCY])\n",
+                     spec.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+  // Anything else is a topology file path; existence is checked after
+  // argument parsing, alongside the other input files.
+  cfg.fabric = "file";
+  cfg.topology_file = spec;
+  return true;
+}
+
 /// True when the pace spec names a file rather than a built-in generator
 /// (mirrors PaceProfile::parse_spec's dispatch rule).
 bool pace_spec_is_file(const std::string& spec) {
@@ -275,6 +340,7 @@ int main(int argc, char** argv) {
   Config cfg = make_base_config();
   bool da2mesh = false;
   bool json = false;
+  std::string emit_topology_path;
   double slo_cycles = 0.0;  ///< 0 = no SLO check.
   ObsOptions obs = obs_from_env();
 
@@ -318,6 +384,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--mesh") {
       cfg.mesh_width = cfg.mesh_height =
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--topology") {
+      if (!apply_topology_spec(value(), cfg)) return 2;
+    } else if (arg == "--serdes") {
+      cfg.serdes_latency =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--emit-topology") {
+      emit_topology_path = value();
     } else if (arg == "--mcs") {
       cfg.num_mcs =
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
@@ -413,6 +486,36 @@ int main(int argc, char** argv) {
     // string is), so a cached result could silently go stale if the file
     // changed. Never cache file-paced cells.
     exec_opts.cache_enabled = false;
+  }
+  if (cfg.fabric == "file") {
+    // Fail fast on the topology file: parse it up front so a malformed
+    // fabric dies with a clear location-tagged message (exit 2) before any
+    // simulation state exists. Its MC count defines the system's MCs.
+    // (Caching stays safe: the cache key hashes the file contents.)
+    if (!require_readable(cfg.topology_file, "topology file")) return 2;
+    try {
+      const topo::FabricGraph g = topo::parse_topology_file(cfg.topology_file);
+      cfg.num_mcs = static_cast<std::uint32_t>(
+          g.count_role(topo::NodeRole::kMC));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  if (!emit_topology_path.empty()) {
+    // Emit the configured fabric as a topology file and exit: the written
+    // file reloads via --topology <path> as the identical graph.
+    try {
+      const topo::Fabric fab = topo::make_fabric(cfg);
+      topo::write_topology_file(fab.graph(), emit_topology_path);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   Metrics m;

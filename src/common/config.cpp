@@ -14,12 +14,32 @@ bool Config::fault_enabled() const {
 
 std::string Config::validate() const {
   std::ostringstream err;
-  if (mesh_width == 0 || mesh_height == 0)
+  if (mesh_width == 0 || mesh_height == 0) {
     err << "mesh dimensions must be positive (got " << mesh_width << "x"
         << mesh_height << "); ";
-  else if (num_mcs == 0 || num_mcs >= num_nodes())
-    err << "num_mcs must be in (0, nodes): got " << num_mcs << " MCs for "
-        << num_nodes() << " nodes; ";
+  } else if (fabric != "file") {
+    // Endpoint budget per generated fabric: MCs live on the WxH grid (mesh,
+    // torus, cmesh hubs) or the flattened chiplet grid. File fabrics carry
+    // their own MC set; make_fabric cross-checks it against num_mcs.
+    std::uint32_t grid = num_nodes();
+    if (fabric == "chiplet") grid = num_nodes() * chiplets_x * chiplets_y;
+    if (num_mcs == 0 || num_mcs >= grid)
+      err << "num_mcs must be in (0, nodes): got " << num_mcs << " MCs for "
+          << grid << " " << fabric << " nodes; ";
+  }
+  if (fabric != "mesh" && fabric != "torus" && fabric != "cmesh" &&
+      fabric != "chiplet" && fabric != "file")
+    err << "unknown fabric '" << fabric
+        << "' (expected mesh, torus, cmesh, chiplet, or file); ";
+  if (fabric == "file" && topology_file.empty())
+    err << "fabric 'file' requires a topology_file path; ";
+  if (topology_file.find('\n') != std::string::npos)
+    err << "topology_file must not contain newlines; ";
+  if (fabric == "cmesh" && cmesh_concentration == 0)
+    err << "cmesh_concentration must be >= 1 (got 0); ";
+  if (fabric == "chiplet" && chiplets_x * chiplets_y < 2)
+    err << "chiplet fabric needs at least 2 chiplets (got " << chiplets_x
+        << "x" << chiplets_y << "); ";
   if (num_vcs == 0) err << "num_vcs must be > 0 (got 0 virtual channels); ";
   if (vc_depth_pkts == 0) err << "vc_depth_pkts must be > 0 (got 0); ";
   if (injection_speedup == 0)
@@ -122,6 +142,16 @@ std::string Config::canonical_string() const {
   u("mesh_height", mesh_height);
   u("num_mcs", num_mcs);
   u("mc_placement", static_cast<std::uint64_t>(mc_placement));
+  // validate() limits `fabric` to a fixed word set and rejects newlines in
+  // topology_file, so both stay one-line fields. The *path* is canonical
+  // here; the exec result-cache key additionally mixes in an FNV hash of
+  // the file contents so editing a topology file invalidates cached cells.
+  os << "fabric=" << fabric << '\n';
+  os << "topology_file=" << topology_file << '\n';
+  u("cmesh_concentration", cmesh_concentration);
+  u("chiplets_x", chiplets_x);
+  u("chiplets_y", chiplets_y);
+  u("serdes_latency", serdes_latency);
   u("link_width_bits_request", link_width_bits_request);
   u("link_width_bits_reply", link_width_bits_reply);
   u("data_payload_bits", data_payload_bits);
@@ -224,8 +254,20 @@ std::string Config::table1() const {
      << " tRRD=" << t_rrd << " tRAS=" << t_ras << " tRCD=" << t_rcd
      << " tCL=" << t_cl << "\n"
      << "  Memory Clock           : " << mem_clock_ratio << " GHz (GTX980)\n"
-     << "  Topology               : 2D Mesh " << mesh_width << "x"
-     << mesh_height << "\n"
+     << "  Topology               : " << [this] {
+          std::ostringstream t;
+          const std::string dims =
+              std::to_string(mesh_width) + "x" + std::to_string(mesh_height);
+          if (fabric == "torus") t << "2D Torus " << dims;
+          else if (fabric == "cmesh")
+            t << "CMesh " << dims << " (x" << cmesh_concentration << ")";
+          else if (fabric == "chiplet")
+            t << "Chiplet " << chiplets_x << "x" << chiplets_y << " of "
+              << dims << " (serdes +" << serdes_latency << "cy)";
+          else if (fabric == "file") t << "File " << topology_file;
+          else t << "2D Mesh " << dims;
+          return t.str();
+        }() << "\n"
      << "  Routing                : "
      << (routing == RoutingAlgo::kXY ? "XY" : "Min. adaptive") << "\n"
      << "  Interconnect/L2 Clock  : 1 GHz\n"

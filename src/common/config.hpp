@@ -41,6 +41,16 @@ struct Config {
   std::uint32_t mesh_height = 6;
   std::uint32_t num_mcs = 8;
   McPlacement mc_placement = McPlacement::kDiamond;  ///< Table I: diamond.
+  /// Interconnect fabric (docs/fabrics.md): "mesh" (default, the native 2D
+  /// mesh), "torus" / "cmesh" / "chiplet" (built-in generators over the
+  /// mesh_* dimensions above), or "file" (load topology_file). Non-mesh
+  /// fabrics route via compiled up*/down* tables.
+  std::string fabric = "mesh";
+  std::string topology_file;  ///< Topology path; consulted iff fabric=="file".
+  std::uint32_t cmesh_concentration = 4;  ///< Endpoints per cmesh hub router.
+  std::uint32_t chiplets_x = 2;  ///< Chiplet grid (fabric=="chiplet"); each
+  std::uint32_t chiplets_y = 2;  ///< chiplet is a mesh_width x mesh_height die.
+  std::uint32_t serdes_latency = 4;  ///< Extra cycles on die-boundary links.
 
   // ---- Link / packet geometry ----
   std::uint32_t link_width_bits_request = 128;  ///< Fig.4 sweeps this.
@@ -185,6 +195,9 @@ struct Config {
   Cycle adm_backoff = 32;          ///< Base defer backoff; doubles/retry.
 
   // Derived helpers -------------------------------------------------------
+  /// Mesh-geometry node/CC counts. Exact for the "mesh" and "torus"
+  /// fabrics; cmesh/chiplet/file endpoint counts come from the built
+  /// topo::Fabric (GpgpuSim sizes cores off fabric.cc_nodes()).
   std::uint32_t num_nodes() const { return mesh_width * mesh_height; }
   std::uint32_t num_ccs() const { return num_nodes() - num_mcs; }
   /// Flits of a long (data-bearing) packet on the given network link width:

@@ -5,6 +5,6 @@
 
 namespace arinoc {
 
-inline constexpr const char kArinocVersion[] = "0.4.0-serving";
+inline constexpr const char kArinocVersion[] = "0.5.0-fabrics";
 
 }  // namespace arinoc

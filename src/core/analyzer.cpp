@@ -59,7 +59,7 @@ BottleneckReport BottleneckAnalyzer::diagnose(GpgpuSim& sim) const {
   double req_ejected = 0;
   for (std::size_t i = 0; i < sim.num_mcs(); ++i) {
     req_ejected += static_cast<double>(
-        sim.request_net().router(sim.mesh().mc_nodes()[i]).flits_ejected());
+        sim.request_net().router(sim.fabric().mc_nodes()[i]).flits_ejected());
   }
   add("MC request ejection",
       req_ejected / cycles / n_mcs / cfg.mc_eject_flits_per_cycle,
@@ -100,7 +100,7 @@ BottleneckReport BottleneckAnalyzer::diagnose(GpgpuSim& sim) const {
   add("reply network links", m.reply_internal_util, "");
   if (!sim.has_overlay()) {
     double rep_ejected = 0;
-    for (NodeId cc : sim.mesh().cc_nodes()) {
+    for (NodeId cc : sim.fabric().cc_nodes()) {
       rep_ejected +=
           static_cast<double>(sim.reply_net().router(cc).flits_ejected());
     }

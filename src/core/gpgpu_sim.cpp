@@ -130,20 +130,29 @@ GpgpuSim::GpgpuSim(const Config& cfg, const BenchmarkTraits& traits,
                    bool use_da2mesh)
     : cfg_(cfg),
       traits_(traits),
-      mesh_(cfg.mesh_width, cfg.mesh_height, cfg.num_mcs, cfg.mc_placement),
+      fabric_(topo::make_fabric(cfg)),
       amap_(cfg.num_mcs, cfg.line_bytes, cfg.dram_banks),
-      tracegen_(traits, cfg.num_ccs(), cfg.warps_per_core, cfg.line_bytes,
-                cfg.seed) {
+      tracegen_(traits, static_cast<std::uint32_t>(fabric_.cc_nodes().size()),
+                cfg.warps_per_core, cfg.line_bytes, cfg.seed) {
   build(use_da2mesh, &tracegen_);
 }
 
 GpgpuSim::GpgpuSim(const Config& cfg, InstrSource* source, bool use_da2mesh)
     : cfg_(cfg),
       traits_(),
-      mesh_(cfg.mesh_width, cfg.mesh_height, cfg.num_mcs, cfg.mc_placement),
+      fabric_(topo::make_fabric(cfg)),
       amap_(cfg.num_mcs, cfg.line_bytes, cfg.dram_banks),
       tracegen_(traits_, 1, 1, cfg.line_bytes, cfg.seed) {
   build(use_da2mesh, source);
+}
+
+const Mesh& GpgpuSim::mesh() const {
+  const Mesh* m = fabric_.mesh_view();
+  if (!m) {
+    throw std::logic_error("GpgpuSim::mesh(): fabric '" + fabric_.kind() +
+                           "' has no mesh geometry");
+  }
+  return *m;
 }
 
 void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
@@ -162,10 +171,15 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
         "open-loop serving and admission control read mesh reply-NI queue "
         "state and are not supported with the DA2mesh overlay");
   }
+  if (use_da2mesh && !fabric_.mesh_view()) {
+    throw std::invalid_argument(
+        "the DA2mesh overlay is a mesh-geometry bypass and is not supported "
+        "on fabric '" + fabric_.kind() + "'");
+  }
 
-  request_net_ = std::make_unique<Network>(request_params(cfg), &mesh_);
+  request_net_ = std::make_unique<Network>(request_params(cfg), &fabric_);
   request_net_->data_payload_bits = cfg.data_payload_bits;
-  reply_net_ = std::make_unique<Network>(reply_params(cfg), &mesh_);
+  reply_net_ = std::make_unique<Network>(reply_params(cfg), &fabric_);
   reply_net_->data_payload_bits = cfg.data_payload_bits;
   if (use_da2mesh) {
     OverlayParams op;
@@ -174,11 +188,11 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
     op.lanes = cfg.split_queues;
     op.data_payload_bits = cfg.data_payload_bits;
     op.link_width_bits = cfg.link_width_bits_reply;
-    overlay_ = std::make_unique<Da2MeshOverlay>(op, &mesh_);
+    overlay_ = std::make_unique<Da2MeshOverlay>(op, fabric_.mesh_view());
   }
 
-  const auto& mc_nodes = mesh_.mc_nodes();
-  const auto& cc_nodes = mesh_.cc_nodes();
+  const auto& mc_nodes = fabric_.mc_nodes();
+  const auto& cc_nodes = fabric_.cc_nodes();
 
   // Serving layer: the degradation FSM is global (one pressure signal, one
   // state every gate reads); gates are per CC and built alongside their
@@ -242,12 +256,12 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
     if (cfg.open_loop) {
       clients_.push_back(std::make_unique<OpenLoopClient>(
           cfg, static_cast<std::uint32_t>(i), node, pace_.get(), &txns_,
-          &amap_, &mesh_.mc_nodes(), req_ports_.back().get(), gate));
+          &amap_, &fabric_.mc_nodes(), req_ports_.back().get(), gate));
       reply_sink = clients_.back().get();
     } else {
       cores_.push_back(std::make_unique<SimtCore>(
           cfg, static_cast<std::uint32_t>(i), node, source, &txns_, &amap_,
-          &mesh_.mc_nodes(), req_ports_.back().get()));
+          &fabric_.mc_nodes(), req_ports_.back().get()));
       reply_sink = cores_.back().get();
     }
     if (!overlay_) {
@@ -376,13 +390,13 @@ void GpgpuSim::step() {
     //    keeps it awake.
     req_ej_act_.drain_sorted([&](std::size_t i) {
       request_eject_[i]->cycle(now);
-      if (request_net_->router(mesh_.mc_nodes()[i]).has_ejected_flit()) {
+      if (request_net_->router(fabric_.mc_nodes()[i]).has_ejected_flit()) {
         req_ej_act_.wake(i);
       }
     });
     rep_ej_act_.drain_sorted([&](std::size_t i) {
       reply_eject_[i]->cycle(now);
-      if (reply_net_->router(mesh_.cc_nodes()[i]).has_ejected_flit()) {
+      if (reply_net_->router(fabric_.cc_nodes()[i]).has_ejected_flit()) {
         rep_ej_act_.wake(i);
       }
     });
@@ -740,8 +754,8 @@ std::string GpgpuSim::diagnostic_dump(const std::string& reason) const {
   os << "==== arinoc diagnostic dump (cycle " << cycle_ << ") ====\n";
   if (!reason.empty()) os << "trigger: " << reason << "\n";
 
-  const auto dump_net = [&os](const Network& net, const Mesh& mesh,
-                              Cycle now) {
+  const auto dump_net = [&os](const Network& net, Cycle now) {
+    const topo::Fabric& fab = net.fabric();
     const PacketArena& arena = net.arena();
     os << "network '" << net.params().name << "': " << arena.live()
        << " live packet(s)\n";
@@ -769,14 +783,14 @@ std::string GpgpuSim::diagnostic_dump(const std::string& reason) const {
       os << "  ... and " << live.size() - show << " more\n";
     }
     // Non-empty router input VCs and ejection backlogs.
-    for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
+    for (NodeId n = 0; n < static_cast<NodeId>(fab.nodes()); ++n) {
       const Router& r = net.router(n);
       std::ostringstream row;
-      for (int d = 0; d < kNumDirections; ++d) {
+      for (int d = 0; d < fab.max_ports(); ++d) {
         for (std::uint32_t vc = 0; vc < net.params().num_vcs; ++vc) {
           const std::size_t b = r.input_buffered(d, static_cast<int>(vc));
           if (b > 0) {
-            row << " " << direction_name(d) << "/vc" << vc << "=" << b;
+            row << " " << fab.port_name(d) << "/vc" << vc << "=" << b;
           }
         }
       }
@@ -794,8 +808,8 @@ std::string GpgpuSim::diagnostic_dump(const std::string& reason) const {
          << " lost\n";
     }
   };
-  dump_net(*request_net_, mesh_, cycle_);
-  if (!overlay_) dump_net(*reply_net_, mesh_, cycle_);
+  dump_net(*request_net_, cycle_);
+  if (!overlay_) dump_net(*reply_net_, cycle_);
 
   for (const auto& mc : mcs_) {
     os << "mc node " << mc->node() << ": stall_cycles=" << mc->stall_cycles()
@@ -902,14 +916,14 @@ Metrics GpgpuSim::collect() const {
   if (!overlay_) {
     m.reply_internal_util = reply_net_->internal_link_utilization(m.cycles);
     m.reply_injection_util =
-        reply_net_->injection_link_utilization(m.cycles, mesh_.mc_nodes());
+        reply_net_->injection_link_utilization(m.cycles, fabric_.mc_nodes());
     double occ = 0.0;
     for (const auto& ni : reply_inject_) occ += ni->mean_occupancy_packets();
     m.ni_occupancy_pkts = occ / static_cast<double>(reply_inject_.size());
   }
   m.request_internal_util = request_net_->internal_link_utilization(m.cycles);
   m.request_injection_util =
-      request_net_->injection_link_utilization(m.cycles, mesh_.cc_nodes());
+      request_net_->injection_link_utilization(m.cycles, fabric_.cc_nodes());
 
   std::uint64_t l1_h = 0, l1_m = 0, l2_h = 0, l2_m = 0;
   for (const auto& c : cores_) {
@@ -949,19 +963,20 @@ Metrics GpgpuSim::collect() const {
 
   // Activity counters for the energy model.
   ActivityCounters& a = m.activity;
-  auto add_net = [&a](const Network& net, const Mesh& mesh) {
+  auto add_net = [&a](const Network& net) {
+    const topo::Fabric& fab = net.fabric();
     std::uint64_t link_flits = 0;
-    for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
+    for (NodeId n = 0; n < static_cast<NodeId>(fab.nodes()); ++n) {
       const Router& r = net.router(n);
-      for (int d = 0; d < kNumDirections; ++d) link_flits += r.flits_sent(d);
+      for (int d = 0; d < fab.max_ports(); ++d) link_flits += r.flits_sent(d);
       a.noc_crossbar += r.crossbar_traversals();
       a.noc_buffer_ops += 2 * (r.flits_injected() + r.flits_ejected());
     }
     a.noc_link_flits += link_flits;
     a.noc_buffer_ops += 2 * link_flits;  // Write + read per buffered hop.
   };
-  add_net(*request_net_, mesh_);
-  if (!overlay_) add_net(*reply_net_, mesh_);
+  add_net(*request_net_);
+  if (!overlay_) add_net(*reply_net_);
   a.dram_activates = dram_act;
   a.dram_accesses = dram_acc;
   a.l2_accesses = l2_h + l2_m;

@@ -22,6 +22,7 @@
 #include "noc/overlay.hpp"
 #include "noc/topology.hpp"
 #include "obs/sampler.hpp"
+#include "topo/fabric.hpp"
 #include "workloads/benchmark.hpp"
 #include "workloads/openloop.hpp"
 #include "workloads/pace.hpp"
@@ -141,7 +142,11 @@ class GpgpuSim {
   Metrics collect() const;
 
   Cycle now() const { return cycle_; }
-  const Mesh& mesh() const { return mesh_; }
+  /// The fabric both networks are built over (any topology).
+  const topo::Fabric& fabric() const { return fabric_; }
+  /// Mesh view of the fabric; throws std::logic_error on non-mesh fabrics
+  /// (heatmaps and other geometry-aware probes — fabric() is generic).
+  const Mesh& mesh() const;
   const Config& config() const { return cfg_; }
 
   // ---- Component access (tests, probes) ----
@@ -195,7 +200,7 @@ class GpgpuSim {
 
   Config cfg_;
   BenchmarkTraits traits_;
-  Mesh mesh_;
+  topo::Fabric fabric_;
   AddressMap amap_;
   TxnPool txns_;
   TraceGen tracegen_;  ///< Default source (synthetic benchmark model).

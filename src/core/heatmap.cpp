@@ -22,7 +22,14 @@ namespace {
 std::string render(const Network& net, Cycle elapsed,
                    double (*value_of)(const Router&, Cycle),
                    const char* title) {
-  const Mesh& mesh = net.mesh();
+  const Mesh* mesh_view = net.fabric().mesh_view();
+  if (!mesh_view) {
+    // ASCII heatmaps are 2D-grid renderings; non-mesh fabrics have no such
+    // embedding, so degrade gracefully instead of guessing a layout.
+    return std::string(title) + ": unavailable (fabric '" +
+           net.fabric().kind() + "' has no mesh geometry)\n";
+  }
+  const Mesh& mesh = *mesh_view;
   double max = 0.0;
   std::vector<double> values(mesh.nodes());
   for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {

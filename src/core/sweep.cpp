@@ -35,8 +35,8 @@ std::vector<SweepCell> Sweep::run() const {
   std::vector<SweepCell> cells;
   cells.reserve(ran.size());
   for (const auto& r : ran) {
-    cells.push_back({r.point, r.scheme, r.benchmark, r.metrics, r.error,
-                     r.error_kind, r.from_cache, r.telemetry_path});
+    cells.push_back({r.point, r.scheme, r.benchmark, r.fabric, r.metrics,
+                     r.error, r.error_kind, r.from_cache, r.telemetry_path});
   }
   return cells;
 }
@@ -61,7 +61,7 @@ std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
         "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj,"
         "reply_latency_p50,reply_latency_p95,reply_latency_p99,"
         "reply_latency_p999,offered_rate,goodput,requests_shed,"
-        "e2e_latency_p99,cycles_degraded,error\n";
+        "e2e_latency_p99,cycles_degraded,fabric,error\n";
   for (const SweepCell& c : cells) {
     const Metrics& m = c.metrics;
     const std::string error =
@@ -78,7 +78,7 @@ std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
        << m.goodput << ',' << m.requests_shed << ','
        << m.e2e_latency_p99 << ','
        << (m.cycles_throttled + m.cycles_shedding) << ','
-       << csv_escape(error) << '\n';
+       << csv_escape(c.fabric) << ',' << csv_escape(error) << '\n';
   }
   return os.str();
 }

@@ -28,6 +28,7 @@ struct SweepCell {
   std::string point;      ///< SweepPoint label.
   std::string scheme;     ///< Scheme name.
   std::string benchmark;
+  std::string fabric;     ///< Reply-fabric tag (see CellResult::fabric).
   Metrics metrics;        ///< Zeroed when the cell failed.
 
   // Crash isolation: a failing cell (watchdog trip, invalid config, any

@@ -41,6 +41,15 @@ std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
   return h;
 }
 
+std::string fabric_cache_tag(const Config& cfg) {
+  if (cfg.fabric != "file") return cfg.fabric;
+  std::ifstream in(cfg.topology_file, std::ios::binary);
+  if (!in) return "file:unreadable";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return "file:" + hex64(fnv1a64(contents.str()));
+}
+
 std::string cache_key_string(const Config& cfg, std::string_view scheme,
                              std::string_view benchmark,
                              std::string_view fabric) {

@@ -26,11 +26,19 @@ namespace arinoc::exec {
 std::uint64_t fnv1a64(std::string_view bytes,
                       std::uint64_t seed = 0xcbf29ce484222325ull);
 
-/// The full key material for one cell. `fabric` distinguishes the mesh
-/// reply network from the DA2mesh overlay.
+/// The full key material for one cell. `fabric` distinguishes the reply
+/// fabric variant: "da2mesh" for the overlay, otherwise fabric_cache_tag().
 std::string cache_key_string(const Config& cfg, std::string_view scheme,
                              std::string_view benchmark,
                              std::string_view fabric);
+
+/// Cache-key fragment naming the fabric a cell runs on. Generated fabrics
+/// are identified by their kind (the generator parameters are already in
+/// the canonical config); file-driven fabrics append an FNV-1a-64 hash of
+/// the topology file *contents*, so editing the file invalidates cached
+/// results even when its path is unchanged. An unreadable file hashes as
+/// "file:unreadable" (the simulation itself will fail the cell).
+std::string fabric_cache_tag(const Config& cfg);
 
 /// Lossless flat-text Metrics serialization (the cache value format).
 std::string serialize_metrics(const Metrics& m);

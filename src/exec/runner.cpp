@@ -125,6 +125,8 @@ std::vector<CellResult> ExperimentRunner::run(
     try {
       configs[i] = resolve(cells[i]);
       runnable[i] = true;
+      results[i].fabric =
+          cells[i].da2mesh ? "da2mesh" : fabric_cache_tag(configs[i]);
     } catch (const std::invalid_argument& e) {
       record_error(results[i], "config", e.what(), 2);
     }
@@ -141,9 +143,8 @@ std::vector<CellResult> ExperimentRunner::run(
       }
       pool.submit([this, i, &cells, &configs, &results, &cache, &progress] {
         CellResult& r = results[i];
-        const std::string key = cache_key_string(
-            configs[i], r.scheme, r.benchmark,
-            cells[i].da2mesh ? "da2mesh" : "mesh");
+        const std::string key =
+            cache_key_string(configs[i], r.scheme, r.benchmark, r.fabric);
         // Sampling cells always simulate: a cache hit would return the
         // aggregate Metrics but skip producing the telemetry series.
         const bool sampling = opts_.sample_interval > 0;

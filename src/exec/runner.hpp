@@ -54,6 +54,10 @@ struct CellResult {
   std::string point;
   std::string scheme;
   std::string benchmark;
+  /// Reply-fabric tag the cell ran on: "da2mesh" for the overlay, otherwise
+  /// fabric_cache_tag(resolved config) — e.g. "mesh", "torus",
+  /// "file:<content-hash>".
+  std::string fabric;
   Metrics metrics;
 
   // Structured per-cell error. ok() == false leaves `metrics` zeroed.

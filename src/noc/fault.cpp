@@ -26,25 +26,35 @@ FaultParams fault_params_from(const Config& cfg) {
 
 // ------------------------------------------------------------ FaultInjector
 
-FaultInjector::FaultInjector(const FaultParams& params, const Mesh* mesh)
+FaultInjector::FaultInjector(const FaultParams& params,
+                             const topo::Fabric* fabric)
     : p_(params),
-      mesh_(mesh),
+      fabric_(fabric),
+      max_ports_(static_cast<std::size_t>(fabric->max_ports())),
       rng_(params.seed),
-      links_(static_cast<std::size_t>(mesh->nodes()) * kNumDirections) {
-  // Fixed draw order over existing links: (node, dir) ascending. The RNG is
+      links_(static_cast<std::size_t>(fabric->nodes()) * max_ports_) {
+  // Fixed draw order over existing links: (node, port) ascending. The RNG is
   // consumed in exactly this order every cycle, which is what makes the
   // schedule independent of traffic.
-  for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
-    for (int dir = 0; dir < kNumDirections; ++dir) {
-      if (mesh->neighbor(n, dir) == kInvalidNode) continue;
-      const std::size_t idx =
-          static_cast<std::size_t>(n) * kNumDirections +
-          static_cast<std::size_t>(dir);
+  for (NodeId n = 0; n < static_cast<NodeId>(fabric->nodes()); ++n) {
+    for (int dir = 0; dir < static_cast<int>(max_ports_); ++dir) {
+      if (fabric->neighbor(n, dir) == kInvalidNode) continue;
+      const std::size_t idx = static_cast<std::size_t>(n) * max_ports_ +
+                              static_cast<std::size_t>(dir);
       links_[idx].exists = true;
       link_order_.push_back(idx);
     }
   }
 }
+
+FaultInjector::FaultInjector(const FaultParams& params,
+                             std::unique_ptr<topo::Fabric> owned)
+    : FaultInjector(params, owned.get()) {
+  fabric_owned_ = std::move(owned);
+}
+
+FaultInjector::FaultInjector(const FaultParams& params, const Mesh* mesh)
+    : FaultInjector(params, std::make_unique<topo::Fabric>(mesh)) {}
 
 void FaultInjector::mix_digest(std::uint32_t kind, Cycle cycle,
                                std::size_t link_index) {
@@ -92,8 +102,8 @@ void FaultInjector::begin_cycle(Cycle now) {
     const bool blocked = l.failed || l.stalled_until > now;
     if (blocked != l.blocked_reported) {
       l.blocked_reported = blocked;
-      changed_.emplace_back(static_cast<NodeId>(idx / kNumDirections),
-                            static_cast<int>(idx % kNumDirections));
+      changed_.emplace_back(static_cast<NodeId>(idx / max_ports_),
+                            static_cast<int>(idx % max_ports_));
     }
   }
 }
@@ -103,10 +113,10 @@ std::string FaultInjector::describe_blocked() const {
   for (const std::size_t idx : link_order_) {
     const LinkState& l = links_[idx];
     if (!l.failed && l.stalled_until <= now_) continue;
-    const NodeId n = static_cast<NodeId>(idx / kNumDirections);
-    const int dir = static_cast<int>(idx % kNumDirections);
-    os << "    link " << n << "->" << mesh_->neighbor(n, dir) << " ("
-       << direction_name(dir) << "): "
+    const NodeId n = static_cast<NodeId>(idx / max_ports_);
+    const int dir = static_cast<int>(idx % max_ports_);
+    os << "    link " << n << "->" << fabric_->neighbor(n, dir) << " ("
+       << fabric_->port_name(dir) << "): "
        << (l.failed ? "failed permanently"
                     : "stalled until cycle " + std::to_string(l.stalled_until))
        << "\n";
@@ -117,9 +127,9 @@ std::string FaultInjector::describe_blocked() const {
 // -------------------------------------------------------- RetransmitTracker
 
 RetransmitTracker::RetransmitTracker(const FaultParams& params, Network* net,
-                                     const Mesh* mesh,
+                                     const topo::Fabric* fabric,
                                      std::uint32_t link_latency)
-    : p_(params), net_(net), mesh_(mesh), link_latency_(link_latency) {}
+    : p_(params), net_(net), fabric_(fabric), link_latency_(link_latency) {}
 
 void RetransmitTracker::register_ni(NodeId node, InjectNi* ni) {
   nis_[node] = ni;
@@ -129,7 +139,7 @@ Cycle RetransmitTracker::ack_latency(NodeId src, NodeId dest) const {
   // Out-of-band single-flit ACK/NACK channel: hop-proportional wire delay
   // plus a small CRC/notification overhead. Contention-free by design (the
   // sideband carries one bit per packet, not payload).
-  return static_cast<Cycle>(mesh_->hops(src, dest)) * link_latency_ + 2;
+  return static_cast<Cycle>(fabric_->hops(src, dest)) * link_latency_ + 2;
 }
 
 void RetransmitTracker::on_accept(PacketId id, Cycle now) {

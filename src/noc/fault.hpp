@@ -4,7 +4,8 @@
 // owns its own RNG stream (independent of the traffic RNG) and draws every
 // fault event in the *time/space* domain — per cycle, per link, in a fixed
 // link order — so the fault schedule is a pure function of (fault seed,
-// mesh, rates) and does not shift when the workload or traffic seed changes.
+// fabric, rates) and does not shift when the workload or traffic seed
+// changes.
 // Four fault classes are modelled:
 //
 //  * transient flit corruption: a link flips payload bits for one cycle;
@@ -27,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -37,6 +39,7 @@
 #include "common/types.hpp"
 #include "noc/packet.hpp"
 #include "noc/topology.hpp"
+#include "topo/fabric.hpp"
 
 namespace arinoc {
 
@@ -97,6 +100,9 @@ struct FaultCounters {
 
 class FaultInjector {
  public:
+  FaultInjector(const FaultParams& params, const topo::Fabric* fabric);
+  /// Compatibility: campaigns over a bare Mesh (owns a non-owning fabric
+  /// view of it; the schedule is identical to the fabric path).
   FaultInjector(const FaultParams& params, const Mesh* mesh);
 
   /// Draws this cycle's fault events; call exactly once per network cycle,
@@ -150,20 +156,24 @@ class FaultInjector {
   };
 
   LinkState& link(NodeId src, int dir) {
-    return links_[static_cast<std::size_t>(src) * kNumDirections +
+    return links_[static_cast<std::size_t>(src) * max_ports_ +
                   static_cast<std::size_t>(dir)];
   }
   const LinkState& link(NodeId src, int dir) const {
-    return links_[static_cast<std::size_t>(src) * kNumDirections +
+    return links_[static_cast<std::size_t>(src) * max_ports_ +
                   static_cast<std::size_t>(dir)];
   }
   void mix_digest(std::uint32_t kind, Cycle cycle, std::size_t link_index);
+  /// Takes ownership of a fabric built for this injector (mesh-compat path).
+  FaultInjector(const FaultParams& params, std::unique_ptr<topo::Fabric> owned);
 
   FaultParams p_;
-  const Mesh* mesh_;
+  std::unique_ptr<topo::Fabric> fabric_owned_;  ///< Mesh-compat ctor only.
+  const topo::Fabric* fabric_;
+  std::size_t max_ports_;
   Xoshiro256 rng_;
   Cycle now_ = 0;
-  std::vector<LinkState> links_;          // [node * 4 + dir]
+  std::vector<LinkState> links_;          // [node * max_ports + dir]
   std::vector<std::size_t> link_order_;   // Valid link indices, fixed order.
   std::vector<std::pair<NodeId, int>> changed_;
   std::uint64_t digest_ = 0xcbf29ce484222325ull;  // FNV offset basis.
@@ -180,8 +190,8 @@ enum class RxOutcome {
 
 class RetransmitTracker {
  public:
-  RetransmitTracker(const FaultParams& params, Network* net, const Mesh* mesh,
-                    std::uint32_t link_latency);
+  RetransmitTracker(const FaultParams& params, Network* net,
+                    const topo::Fabric* fabric, std::uint32_t link_latency);
 
   /// Registers the injection NI re-injections for `node` go through.
   void register_ni(NodeId node, InjectNi* ni);
@@ -229,7 +239,7 @@ class RetransmitTracker {
 
   FaultParams p_;
   Network* net_;
-  const Mesh* mesh_;
+  const topo::Fabric* fabric_;
   std::uint32_t link_latency_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::unordered_map<NodeId, InjectNi*> nis_;

@@ -7,10 +7,13 @@
 
 namespace arinoc {
 
-Network::Network(const NetworkParams& params, const Mesh* mesh)
-    : params_(params), mesh_(mesh) {
-  routers_.reserve(mesh->nodes());
-  for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
+Network::Network(const NetworkParams& params, const topo::Fabric* fabric)
+    : params_(params), fabric_(fabric) {
+  const int nodes = fabric->nodes();
+  const int ports = fabric->max_ports();
+  base_link_latency_ = std::max<std::uint32_t>(1, params.link_latency);
+  routers_.reserve(static_cast<std::size_t>(nodes));
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
     RouterParams rp;
     rp.node = n;
     rp.num_vcs = params.num_vcs;
@@ -20,30 +23,36 @@ Network::Network(const NetworkParams& params, const Mesh* mesh)
     rp.priority_levels = params.priority_levels;
     rp.starvation_threshold = params.starvation_threshold;
     rp.ejection_capacity_flits = 4 * params.vc_depth_flits;
-    const bool special = (params.treat_mcs_specially && mesh->is_mc(n)) ||
-                         (params.treat_ccs_specially && !mesh->is_mc(n));
+    // Pure-router nodes (cmesh hubs) carry no endpoints, so neither special
+    // treatment applies there.
+    const bool special =
+        (params.treat_mcs_specially && fabric->is_mc(n)) ||
+        (params.treat_ccs_specially && fabric->is_endpoint(n) &&
+         !fabric->is_mc(n));
     rp.injection_speedup = special ? params.mc_injection_speedup : 1;
     rp.num_injection_ports = special ? params.mc_injection_ports : 1;
-    routers_.push_back(std::make_unique<Router>(rp, mesh, &arena_));
+    routers_.push_back(std::make_unique<Router>(rp, fabric, &arena_));
   }
   // Wire neighbouring routers.
-  for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
-    for (int dir = 0; dir < kNumDirections; ++dir) {
-      const NodeId nb = mesh->neighbor(n, dir);
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+    for (int port = 0; port < ports; ++port) {
+      const NodeId nb = fabric->neighbor(n, port);
       if (nb == kInvalidNode) continue;
       routers_[static_cast<std::size_t>(n)]->connect_output(
-          dir, params.vc_depth_flits);
-      routers_[static_cast<std::size_t>(n)]->connect_input(dir);
+          port, params.vc_depth_flits);
+      routers_[static_cast<std::size_t>(n)]->connect_input(port);
       ++num_internal_links_;
     }
   }
-  const std::size_t slots = std::max<std::uint32_t>(1, params.link_latency);
+  // Ring size covers the slowest link (base + worst serdes extra); uniform
+  // fabrics keep the original max(1, link_latency) size and slot math.
+  const std::size_t slots = base_link_latency_ + fabric->max_extra_latency();
   flit_ring_.resize(slots);
   credit_ring_.resize(slots);
 
   if (params.activity_driven) {
-    router_act_.resize(mesh->nodes());
-    for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
+    router_act_.resize(static_cast<std::size_t>(nodes));
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
       routers_[static_cast<std::size_t>(n)]->set_activity_hook(
           &router_act_, static_cast<std::size_t>(n));
     }
@@ -52,19 +61,28 @@ Network::Network(const NetworkParams& params, const Mesh* mesh)
   }
 
   if (params.fault.any_enabled()) {
-    fault_ = std::make_unique<FaultInjector>(params.fault, mesh);
+    fault_ = std::make_unique<FaultInjector>(params.fault, fabric);
     if (params.fault.recovery) {
-      rtx_ = std::make_unique<RetransmitTracker>(
-          params.fault, this, mesh,
-          std::max<std::uint32_t>(1, params.link_latency));
+      rtx_ = std::make_unique<RetransmitTracker>(params.fault, this, fabric,
+                                                 base_link_latency_);
     }
     if (params.fault.credit_loss_on()) {
-      credits_lost_.assign(static_cast<std::size_t>(mesh->nodes()) *
-                               kNumDirections * params.num_vcs,
+      credits_lost_.assign(static_cast<std::size_t>(nodes) *
+                               static_cast<std::size_t>(ports) *
+                               params.num_vcs,
                            0);
     }
   }
 }
+
+Network::Network(const NetworkParams& params,
+                 std::unique_ptr<topo::Fabric> owned)
+    : Network(params, owned.get()) {
+  fabric_owned_ = std::move(owned);
+}
+
+Network::Network(const NetworkParams& params, const Mesh* mesh)
+    : Network(params, std::make_unique<topo::Fabric>(mesh)) {}
 
 std::uint16_t Network::flits_for(PacketType type) const {
   if (!is_long_packet(type)) return 1;
@@ -96,9 +114,9 @@ void Network::step_router(NodeId n, Cycle now, std::size_t send_slot) {
   routers_[static_cast<std::size_t>(n)]->step(now, &scratch_flits_,
                                               &scratch_credits_);
   for (const OutboundFlit& of : scratch_flits_) {
-    const NodeId dst = mesh_->neighbor(n, of.out_dir);
+    const NodeId dst = fabric_->neighbor(n, of.out_dir);
     assert(dst != kInvalidNode);
-    FlitEvent ev{dst, opposite(of.out_dir), of.out_vc, of.flit};
+    FlitEvent ev{dst, fabric_->peer_port(n, of.out_dir), of.out_vc, of.flit};
     const bool corrupted = fault_ && fault_->corrupt_link(n, of.out_dir);
     if (corrupted) {
       ev.flit.corrupted = true;
@@ -115,25 +133,36 @@ void Network::step_router(NodeId n, Cycle now, std::size_t send_slot) {
                         ev.flit.pkt, type, n, of.out_dir);
       }
     }
-    flit_ring_[send_slot].push_back(ev);
+    // Serdes (chiplet-boundary) links deliver extra cycles later; uniform
+    // links land in send_slot itself, exactly as before.
+    flit_ring_[slot_after(send_slot,
+                          base_link_latency_ +
+                              fabric_->link_extra_latency(n, of.out_dir))]
+        .push_back(ev);
   }
   for (const OutboundCredit& oc : scratch_credits_) {
-    const NodeId up = mesh_->neighbor(n, oc.in_dir);
+    const NodeId up = fabric_->neighbor(n, oc.in_dir);
     assert(up != kInvalidNode);
-    const int up_dir = opposite(oc.in_dir);
+    const int up_dir = fabric_->peer_port(n, oc.in_dir);
     if (fault_ && fault_->take_credit_drop(up, up_dir)) {
       // The credit vanishes in flight: the upstream (up, up_dir, vc)
       // counter permanently shrinks. Recorded so the invariant audit can
       // tell intentional loss from a protocol bug.
       if (!credits_lost_.empty()) {
-        ++credits_lost_[(static_cast<std::size_t>(up) * kNumDirections +
+        ++credits_lost_[(static_cast<std::size_t>(up) *
+                             static_cast<std::size_t>(fabric_->max_ports()) +
                          static_cast<std::size_t>(up_dir)) *
                             params_.num_vcs +
                         static_cast<std::size_t>(oc.vc)];
       }
       continue;
     }
-    credit_ring_[send_slot].push_back({up, up_dir, oc.vc});
+    // Credits cross the same physical channel, so they take the same
+    // latency (link attributes are symmetric by validation).
+    credit_ring_[slot_after(send_slot,
+                            base_link_latency_ +
+                                fabric_->link_extra_latency(n, oc.in_dir))]
+        .push_back({up, up_dir, oc.vc});
   }
 }
 
@@ -188,7 +217,7 @@ void Network::step(Cycle now) {
       if (routers_[i]->buffered_flits_total() > 0) router_act_.wake(i);
     });
   } else {
-    for (NodeId n = 0; n < static_cast<NodeId>(mesh_->nodes()); ++n) {
+    for (NodeId n = 0; n < static_cast<NodeId>(fabric_->nodes()); ++n) {
       step_router(n, now, send_slot);
     }
   }
@@ -207,7 +236,7 @@ double Network::internal_link_utilization(Cycle elapsed) const {
   if (elapsed == 0 || num_internal_links_ == 0) return 0.0;
   std::uint64_t flits = 0;
   for (const auto& r : routers_) {
-    for (int dir = 0; dir < kNumDirections; ++dir) {
+    for (int dir = 0; dir < fabric_->max_ports(); ++dir) {
       flits += r->flits_sent(dir);
     }
   }
@@ -269,7 +298,9 @@ void Network::set_tracer(obs::PacketTracer* t, std::uint8_t net) {
 std::uint64_t Network::internal_flits_total() const {
   std::uint64_t flits = 0;
   for (const auto& r : routers_) {
-    for (int dir = 0; dir < kNumDirections; ++dir) flits += r->flits_sent(dir);
+    for (int dir = 0; dir < fabric_->max_ports(); ++dir) {
+      flits += r->flits_sent(dir);
+    }
   }
   return flits;
 }
@@ -296,13 +327,13 @@ void Network::reset_stats() {
 }
 
 std::string Network::validate_credit_invariants() const {
-  for (NodeId u = 0; u < static_cast<NodeId>(mesh_->nodes()); ++u) {
+  for (NodeId u = 0; u < static_cast<NodeId>(fabric_->nodes()); ++u) {
     const Router& up = *routers_[static_cast<std::size_t>(u)];
-    for (int dir = 0; dir < kNumDirections; ++dir) {
+    for (int dir = 0; dir < fabric_->max_ports(); ++dir) {
       if (!up.output_is_connected(dir)) continue;
-      const NodeId v = mesh_->neighbor(u, dir);
+      const NodeId v = fabric_->neighbor(u, dir);
       const Router& down = *routers_[static_cast<std::size_t>(v)];
-      const int in_dir = opposite(dir);
+      const int in_dir = fabric_->peer_port(u, dir);
       for (std::uint32_t vc = 0; vc < params_.num_vcs; ++vc) {
         std::uint32_t inflight_flits = 0;
         std::uint32_t inflight_credits = 0;
@@ -326,7 +357,9 @@ std::string Network::validate_credit_invariants() const {
         // loss, not a protocol bug: the usable depth shrank by that much.
         std::uint32_t lost = 0;
         if (!credits_lost_.empty()) {
-          lost = credits_lost_[(static_cast<std::size_t>(u) * kNumDirections +
+          lost = credits_lost_[(static_cast<std::size_t>(u) *
+                                    static_cast<std::size_t>(
+                                        fabric_->max_ports()) +
                                 static_cast<std::size_t>(dir)) *
                                    params_.num_vcs +
                                static_cast<std::size_t>(vc)];
@@ -339,7 +372,7 @@ std::string Network::validate_credit_invariants() const {
         if (total != params_.vc_depth_flits) {
           std::ostringstream os;
           os << "credit invariant violated on link " << u << "->" << v
-             << " dir " << direction_name(dir) << " vc " << vc << ": "
+             << " dir " << fabric_->port_name(dir) << " vc " << vc << ": "
              << up.output_credits(dir, static_cast<int>(vc)) << " credits + "
              << down.input_buffered(in_dir, static_cast<int>(vc))
              << " buffered + " << inflight_flits << " flits in flight + "

@@ -15,6 +15,7 @@
 #include "noc/packet.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
+#include "topo/fabric.hpp"
 
 namespace arinoc {
 
@@ -55,6 +56,11 @@ struct NetworkParams {
 
 class Network {
  public:
+  /// Builds the network over an externally owned fabric (any topology).
+  Network(const NetworkParams& params, const topo::Fabric* fabric);
+  /// Compatibility: builds over a bare Mesh by wrapping it in an owned
+  /// (non-owning view) Fabric — behaviour is bit-identical to the fabric
+  /// path for meshes.
   Network(const NetworkParams& params, const Mesh* mesh);
 
   /// Advances the network by one cycle: delivers in-flight flits/credits,
@@ -68,7 +74,10 @@ class Network {
 
   PacketArena& arena() { return arena_; }
   const PacketArena& arena() const { return arena_; }
-  const Mesh& mesh() const { return *mesh_; }
+  const topo::Fabric& fabric() const { return *fabric_; }
+  /// Mesh view of the fabric; only valid for mesh fabrics (heatmaps and
+  /// other geometry-aware probes — fabric() is the generic interface).
+  const Mesh& mesh() const { return *fabric_->mesh_view(); }
   const NetworkParams& params() const { return params_; }
 
   /// Creates a packet sized for this network's link width.
@@ -163,10 +172,21 @@ class Network {
     int vc;
   };
 
+  /// Takes ownership of a fabric built for this network (mesh-compat path).
+  Network(const NetworkParams& params, std::unique_ptr<topo::Fabric> owned);
+
   void step_router(NodeId n, Cycle now, std::size_t send_slot);
+  /// Ring slot that delivers `lat` cycles after `send_slot` (lat is in
+  /// [1, ring size]; lat == ring size lands back on send_slot itself, the
+  /// uniform-latency fast path).
+  std::size_t slot_after(std::size_t send_slot, std::size_t lat) const {
+    return (send_slot + (lat % flit_ring_.size())) % flit_ring_.size();
+  }
 
   NetworkParams params_;
-  const Mesh* mesh_;
+  std::unique_ptr<topo::Fabric> fabric_owned_;  ///< Mesh-compat ctor only.
+  const topo::Fabric* fabric_;
+  std::uint32_t base_link_latency_ = 1;  ///< max(1, params.link_latency).
   PacketArena arena_;
   std::vector<std::unique_ptr<Router>> routers_;
   /// Routers that may do work next cycle (activity-driven mode only).

@@ -7,26 +7,23 @@
 
 namespace arinoc {
 
-namespace {
-constexpr int kEjectPort = kNumDirections;  // Output port index 4.
-constexpr std::uint32_t kNumOutputs = kNumDirections + 1;
-}  // namespace
-
-Router::Router(const RouterParams& params, const Mesh* mesh,
+Router::Router(const RouterParams& params, const topo::Fabric* fabric,
                PacketArena* arena)
     : params_(params),
-      mesh_(mesh),
+      fabric_(fabric),
+      num_dirs_(fabric->max_ports()),
       arena_(arena),
       input_vcs_(num_inputs() * params.num_vcs),
-      output_vcs_(kNumOutputs * params.num_vcs),
-      output_connected_(kNumDirections, false),
-      output_blocked_(kNumDirections, false),
-      input_connected_(kNumDirections, false),
+      output_vcs_(num_outputs() * params.num_vcs),
+      output_connected_(static_cast<std::size_t>(num_dirs_), false),
+      output_blocked_(static_cast<std::size_t>(num_dirs_), false),
+      input_connected_(static_cast<std::size_t>(num_dirs_), false),
       ejection_buf_(params.ejection_capacity_flits),
       input_rr_(num_inputs(), 0),
-      output_arb_(kNumOutputs) {
+      output_arb_(num_outputs()),
+      out_flit_count_(num_outputs(), 0) {
   for (auto& v : input_vcs_) v.buf.set_capacity(params.vc_depth_flits);
-  for (std::uint32_t o = 0; o < kNumOutputs; ++o) {
+  for (std::uint32_t o = 0; o < num_outputs(); ++o) {
     output_arb_[o].resize(num_inputs() * params.num_vcs);
     for (std::uint32_t vc = 0; vc < params.num_vcs; ++vc) {
       // Ejection "credits" are handled through the shared ejection buffer.
@@ -36,7 +33,7 @@ Router::Router(const RouterParams& params, const Mesh* mesh,
 }
 
 void Router::connect_output(int dir, std::uint32_t downstream_depth_flits) {
-  assert(dir >= 0 && dir < kNumDirections);
+  assert(dir >= 0 && dir < num_dirs_);
   output_connected_[static_cast<std::size_t>(dir)] = true;
   for (std::uint32_t vc = 0; vc < params_.num_vcs; ++vc) {
     ovc(dir, static_cast<int>(vc)).credits = downstream_depth_flits;
@@ -44,7 +41,7 @@ void Router::connect_output(int dir, std::uint32_t downstream_depth_flits) {
 }
 
 void Router::connect_input(int dir) {
-  assert(dir >= 0 && dir < kNumDirections);
+  assert(dir >= 0 && dir < num_dirs_);
   input_connected_[static_cast<std::size_t>(dir)] = true;
 }
 
@@ -64,14 +61,13 @@ void Router::receive_credit(int dir, int vc) {
 
 std::uint32_t Router::injection_free(std::uint32_t ip, std::uint32_t vc) const {
   return static_cast<std::uint32_t>(
-      ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc))
+      ivc(num_dirs_ + static_cast<int>(ip), static_cast<int>(vc))
           .buf.free_space());
 }
 
 bool Router::injection_vc_ready(std::uint32_t ip, std::uint32_t vc,
                                 std::uint32_t flits) const {
-  const InputVC& v =
-      ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc));
+  const InputVC& v = ivc(num_dirs_ + static_cast<int>(ip), static_cast<int>(vc));
   const std::uint32_t need =
       std::min<std::uint32_t>(flits, params_.vc_depth_flits);
   if (params_.non_atomic_vc) {
@@ -82,7 +78,7 @@ bool Router::injection_vc_ready(std::uint32_t ip, std::uint32_t vc,
 
 void Router::inject_flit(std::uint32_t ip, std::uint32_t vc, const Flit& flit,
                          Cycle now) {
-  InputVC& v = ivc(kNumDirections + static_cast<int>(ip), static_cast<int>(vc));
+  InputVC& v = ivc(num_dirs_ + static_cast<int>(ip), static_cast<int>(vc));
   assert(!v.buf.full() && "injection overflow");
   v.buf.push(flit);
   ++buffered_total_;
@@ -101,14 +97,14 @@ void Router::inject_flit(std::uint32_t ip, std::uint32_t vc, const Flit& flit,
 Flit Router::pop_ejected_flit() { return ejection_buf_.pop(); }
 
 void Router::reset_stats() {
-  for (auto& c : out_flit_count_) c = 0;
+  out_flit_count_.assign(num_outputs(), 0);
   injected_flit_count_ = 0;
   ejected_flit_count_ = 0;
   crossbar_count_ = 0;
 }
 
 std::uint32_t Router::output_free_space(int out_port, int out_vc) const {
-  if (out_port == kEjectPort) {
+  if (out_port == num_dirs_) {
     return static_cast<std::uint32_t>(ejection_buf_.free_space());
   }
   return output_vcs_[static_cast<std::size_t>(out_port) * params_.num_vcs +
@@ -122,7 +118,7 @@ bool Router::output_vc_admits(int out_port, int vc,
       output_vcs_[static_cast<std::size_t>(out_port) * params_.num_vcs +
                   static_cast<std::size_t>(vc)];
   if (o.owner != kInvalidPacket) return false;
-  if (out_port == kEjectPort) {
+  if (out_port == num_dirs_) {
     const std::uint32_t need = std::min<std::uint32_t>(
         flits, params_.ejection_capacity_flits);
     return ejection_buf_.free_space() >= need;
@@ -140,7 +136,7 @@ bool Router::output_vc_admits(int out_port, int vc,
 }
 
 bool Router::output_ready_for_flit(int out_port, int out_vc) const {
-  if (out_port == kEjectPort) return !ejection_buf_.full();
+  if (out_port == num_dirs_) return !ejection_buf_.full();
   if (output_blocked_[static_cast<std::size_t>(out_port)]) return false;
   return output_vcs_[static_cast<std::size_t>(out_port) * params_.num_vcs +
                      static_cast<std::size_t>(out_vc)]
@@ -167,7 +163,8 @@ void Router::route_stage(Cycle now) {
       const Flit& f = v.buf.front();
       assert(f.head && "non-head flit at idle VC front");
       Packet& pkt = arena_->at(f.pkt);
-      v.route = compute_route(*mesh_, params_.node, pkt.dest, params_.routing);
+      v.route = compute_route(*fabric_, params_.node, static_cast<int>(p),
+                              pkt.dest, params_.routing);
       v.route_valid = true;
       v.state = InputVC::State::kWaitVC;
       v.wait_since = now;
@@ -219,9 +216,11 @@ void Router::vc_alloc_pass(Cycle now, std::uint32_t wanted_priority,
 
     int got_port = -1, got_vc = -1;
     const bool adaptive = params_.routing == RoutingAlgo::kMinAdaptive;
-    const int eject = kEjectPort;
+    // The fabric's local-port sentinel doubles as the ejection output index
+    // (both are num_dirs_), so `out` is the sentinel value either way.
+    const int eject = num_dirs_;
     for (int port_dir : ports) {
-      const int out = port_dir == kLocal ? eject : port_dir;
+      const int out = port_dir;
       const std::uint32_t first_vc =
           (adaptive && out != eject) ? 1 : 0;  // VC0 = escape lane.
       for (std::uint32_t vc = first_vc; vc < params_.num_vcs; ++vc) {
@@ -233,8 +232,9 @@ void Router::vc_alloc_pass(Cycle now, std::uint32_t wanted_priority,
       }
       if (got_port != -1) break;
     }
-    if (got_port == -1 && adaptive && v.route.xy != kLocal) {
-      // Escape fallback: VC0 along the deadlock-free XY direction.
+    if (got_port == -1 && adaptive && v.route.xy != eject) {
+      // Escape fallback: VC0 along the deadlock-free escape port (the XY
+      // direction on meshes; any table port is deadlock-free on any VC).
       if (output_vc_admits(v.route.xy, 0, flits)) {
         got_port = v.route.xy;
         got_vc = 0;
@@ -261,7 +261,7 @@ void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
     std::vector<bool> req;
     std::vector<std::uint32_t> key;
   };
-  std::vector<OutputRequest> requests(kNumOutputs);
+  std::vector<OutputRequest> requests(num_outputs());
   const std::size_t slots = num_inputs() * params_.num_vcs;
   for (auto& r : requests) {
     r.req.assign(slots, false);
@@ -272,15 +272,16 @@ void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
     const std::uint32_t budget =
         is_injection_port(static_cast<int>(p)) ? params_.injection_speedup : 1;
     std::uint32_t used = 0;
-    bool port_taken[kNumOutputs] = {};
+    // One bit per output port; topo::kMaxPorts (32) + ejection fits u64.
+    std::uint64_t port_taken = 0;
     for (std::uint32_t k = 0; k < params_.num_vcs && used < budget; ++k) {
       const std::uint32_t vc =
           static_cast<std::uint32_t>((input_rr_[p] + k) % params_.num_vcs);
       InputVC& v = ivc(static_cast<int>(p), static_cast<int>(vc));
       if (v.state != InputVC::State::kActive || v.buf.empty()) continue;
       if (!output_ready_for_flit(v.out_port, v.out_vc)) continue;
-      if (port_taken[v.out_port]) continue;
-      port_taken[v.out_port] = true;
+      if ((port_taken >> v.out_port) & 1u) continue;
+      port_taken |= 1ull << v.out_port;
       ++used;
       const std::size_t slot =
           static_cast<std::size_t>(p) * params_.num_vcs + vc;
@@ -292,7 +293,7 @@ void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
   }
 
   // ---- Output arbitration + switch traversal. ----
-  for (std::uint32_t o = 0; o < kNumOutputs; ++o) {
+  for (std::uint32_t o = 0; o < num_outputs(); ++o) {
     const int winner = output_arb_[o].pick(requests[o].req, requests[o].key);
     if (winner < 0) continue;
     const int p = winner / static_cast<int>(params_.num_vcs);
@@ -303,12 +304,12 @@ void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
     ++crossbar_count_;
     v.wait_since = now;
 
-    if (static_cast<int>(o) == kEjectPort) {
+    if (static_cast<int>(o) == num_dirs_) {
       assert(!ejection_buf_.full());
       ejection_buf_.push(f);
       if (eject_set_) eject_set_->wake(eject_idx_);
       ++ejected_flit_count_;
-      ++out_flit_count_[kEjectPort];
+      ++out_flit_count_[static_cast<std::size_t>(num_dirs_)];
     } else {
       OutputVC& out = ovc(static_cast<int>(o), v.out_vc);
       assert(out.credits >= 1);

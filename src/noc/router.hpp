@@ -46,7 +46,7 @@ struct RouterParams {
 
 /// One flit leaving the router toward a neighbouring router this cycle.
 struct OutboundFlit {
-  int out_dir;  ///< kNorth..kWest.
+  int out_dir;  ///< Fabric output port (kNorth..kWest on meshes).
   int out_vc;
   Flit flit;
 };
@@ -59,7 +59,11 @@ struct OutboundCredit {
 
 class Router {
  public:
-  Router(const RouterParams& params, const Mesh* mesh, PacketArena* arena);
+  /// `fabric` supplies the radix, adjacency, and route computation; the
+  /// router has fabric->max_ports() direction ports (ports beyond them are
+  /// injection inputs / the ejection output).
+  Router(const RouterParams& params, const topo::Fabric* fabric,
+         PacketArena* arena);
 
   // ---- Wiring (done once by Network) ----
   /// Marks a direction output as connected (edge ports stay disconnected).
@@ -178,11 +182,13 @@ class Router {
   };
 
   std::uint32_t num_inputs() const {
-    return kNumDirections + params_.num_injection_ports;
+    return static_cast<std::uint32_t>(num_dirs_) +
+           params_.num_injection_ports;
   }
-  bool is_injection_port(int in_port) const {
-    return in_port >= kNumDirections;
+  std::uint32_t num_outputs() const {
+    return static_cast<std::uint32_t>(num_dirs_) + 1;  // +1: ejection.
   }
+  bool is_injection_port(int in_port) const { return in_port >= num_dirs_; }
   InputVC& ivc(int port, int vc) {
     return input_vcs_[static_cast<std::size_t>(port) * params_.num_vcs +
                       static_cast<std::size_t>(vc)];
@@ -213,11 +219,15 @@ class Router {
   std::uint32_t effective_priority(const InputVC& v, Cycle now) const;
 
   RouterParams params_;
-  const Mesh* mesh_;
+  const topo::Fabric* fabric_;
+  /// Direction-port count (= fabric radix). The ejection output is port
+  /// num_dirs_, injection inputs start at num_dirs_ — the mesh's kLocal
+  /// convention generalized. Declared before the containers sized off it.
+  int num_dirs_;
   PacketArena* arena_;
 
   std::vector<InputVC> input_vcs_;    // [input_port][vc]
-  std::vector<OutputVC> output_vcs_;  // [output_port][vc]; port 4 = ejection
+  std::vector<OutputVC> output_vcs_;  // [output_port][vc]; last = ejection
   std::vector<bool> output_connected_;  // direction outputs only
   std::vector<bool> output_blocked_;    // fault injector (stall/port-fail)
   std::vector<bool> input_connected_;
@@ -242,7 +252,7 @@ class Router {
   std::size_t buffered_total_ = 0;
 
   // Stats.
-  std::uint64_t out_flit_count_[kNumDirections + 1] = {};
+  std::vector<std::uint64_t> out_flit_count_;  // [output_port]; last=eject
   std::uint64_t injected_flit_count_ = 0;
   std::uint64_t ejected_flit_count_ = 0;
   std::uint64_t crossbar_count_ = 0;

@@ -30,4 +30,33 @@ RouteCandidates compute_route(const Mesh& mesh, NodeId here, NodeId dest,
   return rc;
 }
 
+RouteCandidates compute_route(const topo::Fabric& fabric, NodeId here,
+                              int in_port, NodeId dest, RoutingAlgo algo) {
+  if (const Mesh* mesh = fabric.mesh_view()) {
+    return compute_route(*mesh, here, dest, algo);
+  }
+  RouteCandidates rc;
+  const int local = fabric.local_port();
+  if (here == dest) {
+    rc.minimal.push_back(local);
+    rc.xy = local;
+    return rc;
+  }
+  const topo::RoutingTable& table = *fabric.table();
+  const int phase = table.phase_of(here, in_port);
+  const topo::RouteEntry& e = table.entry(dest, here, phase);
+  // validate_graph + the table construction guarantee a legal port from any
+  // state routing can reach (docs/fabrics.md, deadlock-freedom argument).
+  rc.xy = e.escape;
+  if (algo == RoutingAlgo::kXY) {
+    // Deterministic: always the single escape port.
+    rc.minimal.push_back(e.escape);
+  } else {
+    for (int port = 0; port < fabric.max_ports(); ++port) {
+      if ((e.port_mask >> port) & 1u) rc.minimal.push_back(port);
+    }
+  }
+  return rc;
+}
+
 }  // namespace arinoc

@@ -11,14 +11,18 @@
 
 #include "common/config.hpp"
 #include "noc/topology.hpp"
+#include "topo/fabric.hpp"
 
 namespace arinoc {
 
 struct RouteCandidates {
-  /// Minimal productive output directions (1 or 2 entries), or kLocal when
-  /// the packet has arrived.
+  /// Minimal productive output ports, or the local (ejection) port when the
+  /// packet has arrived. On meshes this is the 1-2 productive directions;
+  /// on table-routed fabrics it is every minimal up*/down*-legal port.
   std::vector<int> minimal;
-  /// The XY dimension-order direction (always a member of `minimal`).
+  /// The escape port (always a member of `minimal`): the XY dimension-order
+  /// direction on meshes, the lowest-numbered minimal legal port on
+  /// table-routed fabrics.
   int xy = kLocal;
 };
 
@@ -27,5 +31,14 @@ struct RouteCandidates {
 /// direction is productive for adaptive VCs.
 RouteCandidates compute_route(const Mesh& mesh, NodeId here, NodeId dest,
                               RoutingAlgo algo);
+
+/// Fabric-generic route computation. Dispatches to the mesh overload above
+/// when the fabric has a native mesh view (bit-identical to the pre-fabric
+/// path); otherwise consults the compiled up*/down* routing table.
+/// `in_port` is the input port the packet occupies at `here` (injection
+/// ports or -1 mean "freshly injected") — it determines the up*/down*
+/// routing phase and is ignored on meshes.
+RouteCandidates compute_route(const topo::Fabric& fabric, NodeId here,
+                              int in_port, NodeId dest, RoutingAlgo algo);
 
 }  // namespace arinoc

@@ -1,0 +1,228 @@
+#include "topo/fabric.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/config.hpp"
+#include "noc/topology.hpp"
+#include "topo/file.hpp"
+#include "topo/generators.hpp"
+
+namespace arinoc::topo {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument(msg);
+}
+
+McPlacement placement_from(const std::string& s) {
+  if (s == "diamond") return McPlacement::kDiamond;
+  if (s == "top-bottom") return McPlacement::kTopBottom;
+  if (s == "column") return McPlacement::kColumn;
+  fail("unknown MC placement '" + s +
+       "' (expected diamond, top-bottom, or column)");
+}
+
+/// Verifies that a kind=="mesh" graph is exactly the Mesh its geometry line
+/// declares: same roles and the full N/E/S/W adjacency, nothing more.
+void cross_check_mesh(const FabricGraph& g, const Mesh& m) {
+  if (g.num_nodes() != static_cast<int>(m.nodes())) {
+    fail("topology declares " + std::to_string(g.num_nodes()) +
+         " nodes but geometry mesh " + std::to_string(m.width()) + "x" +
+         std::to_string(m.height()) + " has " + std::to_string(m.nodes()));
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const NodeRole r = g.roles[static_cast<std::size_t>(n)];
+    if (r == NodeRole::kRouter) {
+      fail("mesh geometry cannot contain rtr nodes (node " +
+           std::to_string(n) + "); every mesh node is an endpoint");
+    }
+    if ((r == NodeRole::kMC) != m.is_mc(n)) {
+      fail("MC placement mismatch at node " + std::to_string(n) +
+           ": the declared geometry places an " +
+           (m.is_mc(n) ? std::string("mc") : std::string("cc")) +
+           " there but the file says " + role_name(r));
+    }
+  }
+  std::map<std::pair<NodeId, int>, const GraphLink*> by_out;
+  for (const GraphLink& l : g.links) by_out.emplace(std::make_pair(l.src, l.src_port), &l);
+  std::size_t expected = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const NodeId nbr = m.neighbor(n, dir);
+      const auto it = by_out.find({n, dir});
+      if (nbr == kInvalidNode) {
+        if (it != by_out.end()) {
+          fail("link " + std::to_string(n) + "." + std::to_string(dir) +
+               " points off the mesh edge declared by the geometry");
+        }
+        continue;
+      }
+      ++expected;
+      if (it == by_out.end()) {
+        fail("missing mesh link " + std::to_string(n) + "." +
+             std::to_string(dir) + " -> " + std::to_string(nbr) + "." +
+             std::to_string(opposite(dir)));
+      }
+      const GraphLink& l = *it->second;
+      if (l.dst != nbr || l.dst_port != opposite(dir)) {
+        fail("link " + std::to_string(n) + "." + std::to_string(dir) +
+             " -> " + std::to_string(l.dst) + "." +
+             std::to_string(l.dst_port) +
+             " does not match the declared mesh geometry (expected " +
+             std::to_string(nbr) + "." + std::to_string(opposite(dir)) +
+             ")");
+      }
+      if (l.extra_latency != 0) {
+        fail("mesh geometry links cannot carry extra latency (link " +
+             std::to_string(n) + "." + std::to_string(dir) +
+             "); use a non-mesh kind for serdes links");
+      }
+    }
+  }
+  if (g.links.size() != expected) {
+    fail("topology declares " + std::to_string(g.links.size()) +
+         " directed links but the mesh geometry has " +
+         std::to_string(expected));
+  }
+}
+
+}  // namespace
+
+Fabric::Fabric(FabricGraph graph) : graph_(std::move(graph)) {
+  if (graph_.kind == "mesh") {
+    if (graph_.mesh_width == 0 || graph_.mesh_height == 0 ||
+        graph_.mesh_placement.empty()) {
+      fail("mesh topology requires a 'geometry mesh <W> <H> <placement>' "
+           "line so the native mesh routing can be used");
+    }
+    mesh_owned_ = std::make_unique<Mesh>(
+        graph_.mesh_width, graph_.mesh_height,
+        graph_.count_role(NodeRole::kMC),
+        placement_from(graph_.mesh_placement));
+    cross_check_mesh(graph_, *mesh_owned_);
+    init_from_mesh(mesh_owned_.get());
+  } else {
+    init_from_table(graph_);
+  }
+}
+
+Fabric::Fabric(const Mesh* mesh) {
+  graph_.kind = "mesh";
+  graph_.mesh_width = mesh->width();
+  graph_.mesh_height = mesh->height();
+  graph_.roles.resize(mesh->nodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh->nodes()); ++n) {
+    graph_.roles[static_cast<std::size_t>(n)] =
+        mesh->is_mc(n) ? NodeRole::kMC : NodeRole::kCC;
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const NodeId m = mesh->neighbor(n, dir);
+      if (m != kInvalidNode) {
+        graph_.links.push_back(GraphLink{n, dir, m, opposite(dir), 0, 0});
+      }
+    }
+  }
+  init_from_mesh(mesh);
+}
+
+void Fabric::init_from_mesh(const Mesh* mesh) {
+  mesh_ = mesh;
+  max_ports_ = kNumDirections;
+  max_extra_ = 0;
+  const std::size_t n = mesh->nodes();
+  roles_.resize(n);
+  neighbor_.assign(n * kNumDirections, kInvalidNode);
+  peer_port_.assign(n * kNumDirections, -1);
+  extra_.assign(n * kNumDirections, 0);
+  for (NodeId node = 0; node < static_cast<NodeId>(n); ++node) {
+    roles_[static_cast<std::size_t>(node)] =
+        mesh->is_mc(node) ? NodeRole::kMC : NodeRole::kCC;
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const NodeId m = mesh->neighbor(node, dir);
+      if (m != kInvalidNode) {
+        neighbor_[idx(node, dir)] = m;
+        peer_port_[idx(node, dir)] = opposite(dir);
+      }
+    }
+  }
+  mc_nodes_ = mesh->mc_nodes();
+  cc_nodes_ = mesh->cc_nodes();
+}
+
+void Fabric::init_from_table(const FabricGraph& g) {
+  max_ports_ = g.num_ports();
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  roles_ = g.roles;
+  neighbor_.assign(n * static_cast<std::size_t>(max_ports_), kInvalidNode);
+  peer_port_.assign(n * static_cast<std::size_t>(max_ports_), -1);
+  extra_.assign(n * static_cast<std::size_t>(max_ports_), 0);
+  max_extra_ = 0;
+  for (const GraphLink& l : g.links) {
+    neighbor_[idx(l.src, l.src_port)] = l.dst;
+    peer_port_[idx(l.src, l.src_port)] = l.dst_port;
+    extra_[idx(l.src, l.src_port)] = l.extra_latency;
+    max_extra_ = std::max(max_extra_, l.extra_latency);
+  }
+  for (NodeId node = 0; node < static_cast<NodeId>(n); ++node) {
+    if (roles_[static_cast<std::size_t>(node)] == NodeRole::kMC) {
+      mc_nodes_.push_back(node);
+    } else if (roles_[static_cast<std::size_t>(node)] == NodeRole::kCC) {
+      cc_nodes_.push_back(node);
+    }
+  }
+  table_ = std::make_unique<RoutingTable>(g);
+}
+
+std::uint32_t Fabric::hops(NodeId a, NodeId b) const {
+  return mesh_ ? mesh_->hops(a, b) : table_->hops(a, b);
+}
+
+std::string Fabric::port_name(int port) const {
+  if (port == max_ports_) return "L";
+  if (mesh_) return direction_name(port);
+  return "p" + std::to_string(port);
+}
+
+Fabric make_fabric(const Config& cfg) {
+  auto build = [&]() -> Fabric {
+    if (cfg.fabric == "mesh") {
+      return Fabric(make_mesh_graph(cfg.mesh_width, cfg.mesh_height,
+                                    cfg.num_mcs, cfg.mc_placement));
+    }
+    if (cfg.fabric == "torus") {
+      return Fabric(make_torus_graph(cfg.mesh_width, cfg.mesh_height,
+                                     cfg.num_mcs, cfg.mc_placement));
+    }
+    if (cfg.fabric == "cmesh") {
+      return Fabric(make_cmesh_graph(cfg.mesh_width, cfg.mesh_height,
+                                     cfg.cmesh_concentration, cfg.num_mcs,
+                                     cfg.mc_placement));
+    }
+    if (cfg.fabric == "chiplet") {
+      return Fabric(make_chiplet_graph(cfg.chiplets_x, cfg.chiplets_y,
+                                       cfg.mesh_width, cfg.mesh_height,
+                                       cfg.num_mcs, cfg.mc_placement,
+                                       cfg.serdes_latency));
+    }
+    if (cfg.fabric == "file") {
+      if (cfg.topology_file.empty()) {
+        fail("fabric 'file' requires topology_file to be set");
+      }
+      return Fabric(parse_topology_file(cfg.topology_file));
+    }
+    fail("unknown fabric '" + cfg.fabric +
+         "' (expected mesh, torus, cmesh, chiplet, or file)");
+  };
+  Fabric f = build();
+  if (static_cast<std::uint32_t>(f.mc_nodes().size()) != cfg.num_mcs) {
+    fail("topology provides " + std::to_string(f.mc_nodes().size()) +
+         " MC nodes but the config expects num_mcs=" +
+         std::to_string(cfg.num_mcs));
+  }
+  return f;
+}
+
+}  // namespace arinoc::topo

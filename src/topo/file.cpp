@@ -1,0 +1,206 @@
+#include "topo/file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace arinoc::topo {
+
+namespace {
+
+[[noreturn]] void fail_at(const std::string& name, int line,
+                          const std::string& msg) {
+  throw std::invalid_argument(name + ":" + std::to_string(line) + ": " + msg);
+}
+
+/// Strict non-negative integer parse (no sign, no trailing junk).
+bool parse_uint(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  long long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > 1'000'000'000LL) return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses "<node>.<port>" into its two components.
+bool parse_endpoint(const std::string& s, long long* node, long long* port) {
+  const std::size_t dot = s.find('.');
+  if (dot == std::string::npos) return false;
+  return parse_uint(s.substr(0, dot), node) &&
+         parse_uint(s.substr(dot + 1), port);
+}
+
+}  // namespace
+
+FabricGraph parse_topology(std::istream& in, const std::string& name) {
+  FabricGraph g;
+  // Nodes may be declared in any order; collect (id, role) pairs and check
+  // density afterwards.
+  std::vector<std::pair<long long, NodeRole>> nodes;
+  long long max_id = -1;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and surrounding whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // Blank line.
+
+    if (tok == "topology") {
+      if (!(ls >> g.kind)) fail_at(name, lineno, "topology needs a kind");
+    } else if (tok == "geometry") {
+      std::string shape;
+      long long w = 0, h = 0;
+      std::string sw, sh;
+      if (!(ls >> shape >> sw >> sh >> g.mesh_placement) || shape != "mesh" ||
+          !parse_uint(sw, &w) || !parse_uint(sh, &h) || w == 0 || h == 0) {
+        fail_at(name, lineno,
+                "malformed geometry line (expected: geometry mesh <W> <H> "
+                "<placement>)");
+      }
+      g.mesh_width = static_cast<std::uint32_t>(w);
+      g.mesh_height = static_cast<std::uint32_t>(h);
+    } else if (tok == "node") {
+      std::string sid, srole;
+      long long id = 0;
+      if (!(ls >> sid >> srole) || !parse_uint(sid, &id)) {
+        fail_at(name, lineno, "malformed node line (expected: node <id> "
+                              "<role>)");
+      }
+      NodeRole role;
+      try {
+        role = role_from(srole);
+      } catch (const std::invalid_argument& e) {
+        fail_at(name, lineno, e.what());
+      }
+      for (const auto& [seen_id, seen_role] : nodes) {
+        (void)seen_role;
+        if (seen_id == id) {
+          fail_at(name, lineno,
+                  "duplicate node id " + std::to_string(id));
+        }
+      }
+      nodes.emplace_back(id, role);
+      max_id = std::max(max_id, id);
+    } else if (tok == "link") {
+      std::string sa, sb;
+      if (!(ls >> sa >> sb)) {
+        fail_at(name, lineno, "malformed link line (expected: link "
+                              "<src>.<port> <dst>.<port> [width=N] "
+                              "[extra=N])");
+      }
+      GraphLink l;
+      long long sn = 0, sp = 0, dn = 0, dp = 0;
+      if (!parse_endpoint(sa, &sn, &sp) || !parse_endpoint(sb, &dn, &dp)) {
+        fail_at(name, lineno,
+                "malformed link endpoint (expected <node>.<port>)");
+      }
+      l.src = static_cast<NodeId>(sn);
+      l.src_port = static_cast<int>(sp);
+      l.dst = static_cast<NodeId>(dn);
+      l.dst_port = static_cast<int>(dp);
+      std::string attr;
+      while (ls >> attr) {
+        const std::size_t eq = attr.find('=');
+        long long v = 0;
+        if (eq == std::string::npos ||
+            !parse_uint(attr.substr(eq + 1), &v)) {
+          fail_at(name, lineno, "malformed link attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        if (key == "width") {
+          if (v == 0) {
+            fail_at(name, lineno, "zero-width link " + sa + " " + sb +
+                                  " (width must be >= 1 bit)");
+          }
+          l.width_bits = static_cast<std::uint32_t>(v);
+        } else if (key == "extra") {
+          l.extra_latency = static_cast<std::uint32_t>(v);
+        } else {
+          fail_at(name, lineno, "unknown link attribute '" + key + "'");
+        }
+      }
+      g.links.push_back(l);
+    } else {
+      fail_at(name, lineno, "unknown directive '" + tok + "'");
+    }
+  }
+
+  if (nodes.empty()) {
+    throw std::invalid_argument(name + ": no node declarations");
+  }
+  g.roles.assign(static_cast<std::size_t>(max_id + 1), NodeRole::kCC);
+  std::vector<char> declared(static_cast<std::size_t>(max_id + 1), 0);
+  for (const auto& [id, role] : nodes) {
+    g.roles[static_cast<std::size_t>(id)] = role;
+    declared[static_cast<std::size_t>(id)] = 1;
+  }
+  for (long long id = 0; id <= max_id; ++id) {
+    if (!declared[static_cast<std::size_t>(id)]) {
+      throw std::invalid_argument(
+          name + ": node ids must be dense 0..N-1 (id " +
+          std::to_string(id) + " is missing)");
+    }
+  }
+
+  try {
+    validate_graph(g);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(name + ": " + e.what());
+  }
+  return g;
+}
+
+FabricGraph parse_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read topology file: " + path);
+  }
+  return parse_topology(in, path);
+}
+
+std::string emit_topology(const FabricGraph& g) {
+  std::ostringstream os;
+  os << "# arinoc topology (" << g.kind << ", " << g.num_nodes()
+     << " nodes, " << g.links.size() << " directed links)\n";
+  os << "topology " << g.kind << "\n";
+  if (g.kind == "mesh" && g.mesh_width > 0 && !g.mesh_placement.empty()) {
+    os << "geometry mesh " << g.mesh_width << " " << g.mesh_height << " "
+       << g.mesh_placement << "\n";
+  }
+  for (int n = 0; n < g.num_nodes(); ++n) {
+    os << "node " << n << " "
+       << role_name(g.roles[static_cast<std::size_t>(n)]) << "\n";
+  }
+  for (const GraphLink& l : g.links) {
+    os << "link " << l.src << "." << l.src_port << " " << l.dst << "."
+       << l.dst_port;
+    if (l.width_bits != 0) os << " width=" << l.width_bits;
+    if (l.extra_latency != 0) os << " extra=" << l.extra_latency;
+    os << "\n";
+  }
+  return os.str();
+}
+
+void write_topology_file(const FabricGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write topology file: " + path);
+  }
+  out << emit_topology(g);
+  if (!out.good()) {
+    throw std::runtime_error("I/O error writing topology file: " + path);
+  }
+}
+
+}  // namespace arinoc::topo

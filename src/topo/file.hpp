@@ -1,0 +1,41 @@
+// Topology file format: a line-oriented, fail-fast-validated text
+// description of a FabricGraph (docs/fabrics.md has the full grammar).
+//
+//   # comment / blank lines are ignored
+//   topology <kind>                      # optional, default "custom"
+//   geometry mesh <W> <H> <placement>    # mesh fast-path declaration
+//   node <id> <role>                     # role: cc | mc | rtr
+//   link <src>.<port> <dst>.<port> [width=<bits>] [extra=<cycles>]
+//
+// Node ids must be dense 0..N-1 (any order). Every link line declares ONE
+// direction; the mirror direction must be declared too (validate_graph's
+// asymmetric-link check). Generators and emit_topology always write both.
+//
+// Parse errors throw std::invalid_argument prefixed "<name>:<line>:" so the
+// CLI can surface them verbatim with exit code 2 (the --pace convention).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/graph.hpp"
+
+namespace arinoc::topo {
+
+/// Parses and validates a topology from a stream; `name` prefixes error
+/// messages (usually the file path). Throws std::invalid_argument.
+FabricGraph parse_topology(std::istream& in, const std::string& name);
+
+/// Reads, parses and validates a topology file. A missing or unreadable
+/// file throws std::invalid_argument (fail fast, before any simulation).
+FabricGraph parse_topology_file(const std::string& path);
+
+/// Serializes a graph in the file format above; parse_topology() of the
+/// result reproduces the graph exactly.
+std::string emit_topology(const FabricGraph& g);
+
+/// Writes emit_topology(g) to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_topology_file(const FabricGraph& g, const std::string& path);
+
+}  // namespace arinoc::topo

@@ -1,0 +1,179 @@
+#include "topo/generators.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "noc/topology.hpp"
+
+namespace arinoc::topo {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("fabric generator: " + msg);
+}
+
+/// Appends both directions of the physical channel between (a, ap) and
+/// (b, bp); `extra` is the serdes latency on top of the base link latency.
+void add_channel(FabricGraph* g, NodeId a, int ap, NodeId b, int bp,
+                 std::uint32_t extra = 0) {
+  g->links.push_back(GraphLink{a, ap, b, bp, 0, extra});
+  g->links.push_back(GraphLink{b, bp, a, ap, 0, extra});
+}
+
+}  // namespace
+
+FabricGraph make_mesh_graph(std::uint32_t width, std::uint32_t height,
+                            std::uint32_t num_mcs, McPlacement placement) {
+  if (width == 0 || height == 0) fail("mesh dimensions must be >= 1");
+  if (num_mcs == 0 || num_mcs >= width * height) {
+    fail("mesh needs 1 <= num_mcs < width*height (got " +
+         std::to_string(num_mcs) + " of " +
+         std::to_string(width * height) + ")");
+  }
+  const Mesh mesh(width, height, num_mcs, placement);
+  FabricGraph g;
+  g.kind = "mesh";
+  g.mesh_width = width;
+  g.mesh_height = height;
+  g.mesh_placement = placement_name(placement);
+  g.roles.resize(mesh.nodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
+    g.roles[static_cast<std::size_t>(n)] =
+        mesh.is_mc(n) ? NodeRole::kMC : NodeRole::kCC;
+    // One directed link per valid (node, dir); the reverse direction is
+    // emitted when the neighbour's iteration reaches the opposite port.
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const NodeId m = mesh.neighbor(n, dir);
+      if (m != kInvalidNode) {
+        g.links.push_back(GraphLink{n, dir, m, opposite(dir), 0, 0});
+      }
+    }
+  }
+  validate_graph(g);
+  return g;
+}
+
+FabricGraph make_torus_graph(std::uint32_t width, std::uint32_t height,
+                             std::uint32_t num_mcs, McPlacement placement) {
+  if (width < 2 || height < 2) {
+    fail("torus dimensions must be >= 2 (wraparound links would be "
+         "self-links)");
+  }
+  if (num_mcs == 0 || num_mcs >= width * height) {
+    fail("torus needs 1 <= num_mcs < width*height (got " +
+         std::to_string(num_mcs) + " of " +
+         std::to_string(width * height) + ")");
+  }
+  // Reuse the mesh MC placement so a torus is the matching mesh plus
+  // wraparound links.
+  const Mesh mesh(width, height, num_mcs, placement);
+  FabricGraph g;
+  g.kind = "torus";
+  g.roles.resize(mesh.nodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
+    g.roles[static_cast<std::size_t>(n)] =
+        mesh.is_mc(n) ? NodeRole::kMC : NodeRole::kCC;
+    const std::uint32_t x = mesh.x_of(n);
+    const std::uint32_t y = mesh.y_of(n);
+    const NodeId north = mesh.node_at(x, (y + height - 1) % height);
+    const NodeId east = mesh.node_at((x + 1) % width, y);
+    const NodeId south = mesh.node_at(x, (y + 1) % height);
+    const NodeId west = mesh.node_at((x + width - 1) % width, y);
+    g.links.push_back(GraphLink{n, kNorth, north, kSouth, 0, 0});
+    g.links.push_back(GraphLink{n, kEast, east, kWest, 0, 0});
+    g.links.push_back(GraphLink{n, kSouth, south, kNorth, 0, 0});
+    g.links.push_back(GraphLink{n, kWest, west, kEast, 0, 0});
+  }
+  validate_graph(g);
+  return g;
+}
+
+FabricGraph make_cmesh_graph(std::uint32_t width, std::uint32_t height,
+                             std::uint32_t concentration,
+                             std::uint32_t num_mcs, McPlacement placement) {
+  if (width == 0 || height == 0) fail("cmesh dimensions must be >= 1");
+  if (concentration < 1 ||
+      concentration > static_cast<std::uint32_t>(kMaxPorts) - 4) {
+    fail("cmesh concentration must be in [1, " +
+         std::to_string(kMaxPorts - 4) + "] (got " +
+         std::to_string(concentration) + ")");
+  }
+  const std::uint32_t hubs = width * height;
+  if (num_mcs == 0 || num_mcs >= hubs) {
+    fail("cmesh needs 1 <= num_mcs < width*height hub count (got " +
+         std::to_string(num_mcs) + " of " + std::to_string(hubs) + ")");
+  }
+  // The hub mesh doubles as the MC-placement oracle: an endpoint under an
+  // MC hub is close to where the mesh placement would put that MC.
+  const Mesh hub_mesh(width, height, num_mcs, placement);
+  FabricGraph g;
+  g.kind = "cmesh";
+  g.roles.assign(hubs + hubs * concentration, NodeRole::kCC);
+  for (NodeId hub = 0; hub < static_cast<NodeId>(hubs); ++hub) {
+    g.roles[static_cast<std::size_t>(hub)] = NodeRole::kRouter;
+    // Hub mesh links on ports 0..3 (N/E/S/W, same convention as the mesh).
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const NodeId m = hub_mesh.neighbor(hub, dir);
+      if (m != kInvalidNode) {
+        g.links.push_back(GraphLink{hub, dir, m, opposite(dir), 0, 0});
+      }
+    }
+    // Leaves hang off ports 4..4+concentration-1; each leaf reaches its hub
+    // through its single port 0.
+    for (std::uint32_t k = 0; k < concentration; ++k) {
+      const NodeId leaf = static_cast<NodeId>(
+          hubs + static_cast<std::uint32_t>(hub) * concentration + k);
+      add_channel(&g, hub, kNumDirections + static_cast<int>(k), leaf, 0);
+      if (hub_mesh.is_mc(hub) && k == 0) {
+        g.roles[static_cast<std::size_t>(leaf)] = NodeRole::kMC;
+      }
+    }
+  }
+  validate_graph(g);
+  return g;
+}
+
+FabricGraph make_chiplet_graph(std::uint32_t chiplets_x,
+                               std::uint32_t chiplets_y, std::uint32_t width,
+                               std::uint32_t height, std::uint32_t num_mcs,
+                               McPlacement placement,
+                               std::uint32_t serdes_latency) {
+  if (chiplets_x == 0 || chiplets_y == 0) {
+    fail("chiplet grid dimensions must be >= 1");
+  }
+  if (chiplets_x * chiplets_y < 2) {
+    fail("a chiplet fabric needs at least 2 chiplets (use the mesh fabric "
+         "for a single die)");
+  }
+  if (width == 0 || height == 0) fail("chiplet mesh dimensions must be >= 1");
+  const std::uint32_t gw = chiplets_x * width;
+  const std::uint32_t gh = chiplets_y * height;
+  if (num_mcs == 0 || num_mcs >= gw * gh) {
+    fail("chiplet fabric needs 1 <= num_mcs < total node count (got " +
+         std::to_string(num_mcs) + " of " + std::to_string(gw * gh) + ")");
+  }
+  // Roles come from the flattened global mesh so MC placement behaves like
+  // one big die; only link latencies know about the chiplet boundaries.
+  const Mesh mesh(gw, gh, num_mcs, placement);
+  FabricGraph g;
+  g.kind = "chiplet";
+  g.roles.resize(mesh.nodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
+    g.roles[static_cast<std::size_t>(n)] =
+        mesh.is_mc(n) ? NodeRole::kMC : NodeRole::kCC;
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const NodeId m = mesh.neighbor(n, dir);
+      if (m == kInvalidNode) continue;
+      const bool crosses =
+          mesh.x_of(n) / width != mesh.x_of(m) / width ||
+          mesh.y_of(n) / height != mesh.y_of(m) / height;
+      g.links.push_back(GraphLink{n, dir, m, opposite(dir), 0,
+                                  crosses ? serdes_latency : 0});
+    }
+  }
+  validate_graph(g);
+  return g;
+}
+
+}  // namespace arinoc::topo

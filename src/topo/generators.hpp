@@ -1,0 +1,46 @@
+// Built-in fabric generators. Each returns a validated FabricGraph; the
+// runtime Fabric (fabric.hpp) compiles routing for it. Parameters and the
+// resulting port conventions are documented in docs/fabrics.md.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "topo/graph.hpp"
+
+namespace arinoc::topo {
+
+/// 2D mesh, ports 0..3 = N/E/S/W. Reproduces the native Mesh exactly
+/// (same node ids, adjacency, and MC placement order); the runtime detects
+/// the declared geometry and routes through the original XY/adaptive math,
+/// so this generator is bit-identical to the built-in Mesh path.
+FabricGraph make_mesh_graph(std::uint32_t width, std::uint32_t height,
+                            std::uint32_t num_mcs, McPlacement placement);
+
+/// 2D torus: the mesh plus wraparound links (every router has all four
+/// neighbours). Requires width, height >= 2. XY would deadlock on the
+/// wrap cycles, so tori always route via the up*/down* tables.
+FabricGraph make_torus_graph(std::uint32_t width, std::uint32_t height,
+                             std::uint32_t num_mcs, McPlacement placement);
+
+/// Concentrated mesh: a width x height hub mesh of pure routers, each hub
+/// concentrating `concentration` endpoint nodes on dedicated ports
+/// (4..4+concentration-1). Endpoints are leaves with a single port-0 link
+/// to their hub. MC hubs are chosen by the given placement on the hub mesh;
+/// the first leaf of each MC hub is the MC endpoint. Requires
+/// num_mcs <= width*height.
+FabricGraph make_cmesh_graph(std::uint32_t width, std::uint32_t height,
+                             std::uint32_t concentration,
+                             std::uint32_t num_mcs, McPlacement placement);
+
+/// Chiplet mesh-of-meshes: a chiplets_x x chiplets_y grid of width x height
+/// sub-meshes. Node ids and ports follow the flattened
+/// (chiplets_x*width) x (chiplets_y*height) global mesh; links crossing a
+/// chiplet boundary carry `serdes_latency` extra cycles (die-to-die serdes).
+FabricGraph make_chiplet_graph(std::uint32_t chiplets_x,
+                               std::uint32_t chiplets_y, std::uint32_t width,
+                               std::uint32_t height, std::uint32_t num_mcs,
+                               McPlacement placement,
+                               std::uint32_t serdes_latency);
+
+}  // namespace arinoc::topo

@@ -1,0 +1,155 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace arinoc::topo {
+
+const char* role_name(NodeRole r) {
+  switch (r) {
+    case NodeRole::kCC: return "cc";
+    case NodeRole::kMC: return "mc";
+    case NodeRole::kRouter: return "rtr";
+  }
+  return "?";
+}
+
+NodeRole role_from(const std::string& s) {
+  if (s == "cc") return NodeRole::kCC;
+  if (s == "mc") return NodeRole::kMC;
+  if (s == "rtr") return NodeRole::kRouter;
+  throw std::invalid_argument("unknown node role '" + s +
+                              "' (expected cc, mc, or rtr)");
+}
+
+int FabricGraph::num_ports() const {
+  int ports = 0;
+  for (const GraphLink& l : links) {
+    ports = std::max(ports, std::max(l.src_port, l.dst_port) + 1);
+  }
+  return ports;
+}
+
+std::uint32_t FabricGraph::count_role(NodeRole r) const {
+  std::uint32_t n = 0;
+  for (const NodeRole x : roles) {
+    if (x == r) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("invalid topology: " + msg);
+}
+
+std::string link_str(const GraphLink& l) {
+  std::ostringstream os;
+  os << l.src << "." << l.src_port << " -> " << l.dst << "." << l.dst_port;
+  return os.str();
+}
+
+}  // namespace
+
+void validate_graph(const FabricGraph& g) {
+  const int n = g.num_nodes();
+  if (n < 2) fail("a fabric needs at least 2 nodes");
+  if (g.links.empty()) fail("a fabric needs at least 1 link");
+
+  const int ports = g.num_ports();
+  if (ports > kMaxPorts) {
+    fail("port index " + std::to_string(ports - 1) + " exceeds the maximum "
+         "radix of " + std::to_string(kMaxPorts));
+  }
+
+  // Endpoint / port-conflict checks, and an index of every directed link so
+  // the mirror lookup below is O(log L).
+  std::map<std::pair<NodeId, int>, const GraphLink*> by_out;
+  std::uint32_t explicit_width = 0;
+  for (const GraphLink& l : g.links) {
+    if (l.src < 0 || l.src >= n) {
+      fail("dangling link endpoint: node " + std::to_string(l.src) +
+           " in link " + link_str(l) + " is not declared");
+    }
+    if (l.dst < 0 || l.dst >= n) {
+      fail("dangling link endpoint: node " + std::to_string(l.dst) +
+           " in link " + link_str(l) + " is not declared");
+    }
+    if (l.src == l.dst) fail("self-link at node " + std::to_string(l.src));
+    if (l.src_port < 0 || l.dst_port < 0) {
+      fail("negative port index in link " + link_str(l));
+    }
+    if (l.width_bits != 0) {
+      if (explicit_width == 0) {
+        explicit_width = l.width_bits;
+      } else if (explicit_width != l.width_bits) {
+        fail("mixed link widths (" + std::to_string(explicit_width) +
+             " and " + std::to_string(l.width_bits) +
+             " bits): the runtime supports one uniform width per network");
+      }
+    }
+    if (l.extra_latency > 4096) {
+      fail("extra latency " + std::to_string(l.extra_latency) +
+           " on link " + link_str(l) + " exceeds the 4096-cycle bound");
+    }
+    const auto key = std::make_pair(l.src, l.src_port);
+    if (!by_out.emplace(key, &l).second) {
+      fail("port conflict: two links leave node " + std::to_string(l.src) +
+           " through port " + std::to_string(l.src_port));
+    }
+  }
+
+  // Symmetry: every directed link needs its mirror with equal attributes,
+  // and the mirror's arrival port must be this link's departure port (the
+  // credit return path shares the port pair).
+  for (const GraphLink& l : g.links) {
+    const auto it = by_out.find({l.dst, l.dst_port});
+    if (it == by_out.end() || it->second->dst != l.src ||
+        it->second->dst_port != l.src_port) {
+      fail("asymmetric link " + link_str(l) + ": no mirror link " +
+           std::to_string(l.dst) + "." + std::to_string(l.dst_port) +
+           " -> " + std::to_string(l.src) + "." +
+           std::to_string(l.src_port));
+    }
+    const GraphLink& m = *it->second;
+    if (m.width_bits != l.width_bits || m.extra_latency != l.extra_latency) {
+      fail("asymmetric link " + link_str(l) +
+           ": mirror link attributes differ (width " +
+           std::to_string(l.width_bits) + " vs " +
+           std::to_string(m.width_bits) + ", extra " +
+           std::to_string(l.extra_latency) + " vs " +
+           std::to_string(m.extra_latency) + ")");
+    }
+  }
+
+  if (g.count_role(NodeRole::kMC) == 0) fail("no MC node declared");
+  if (g.count_role(NodeRole::kCC) == 0) fail("no CC node declared");
+
+  // Connectivity (BFS over directed links; symmetry makes this undirected).
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> queue{0};
+  seen[0] = 1;
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (const GraphLink& l : g.links) {
+    adj[static_cast<std::size_t>(l.src)].push_back(l.dst);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const NodeId m : adj[static_cast<std::size_t>(queue[head])]) {
+      if (!seen[static_cast<std::size_t>(m)]) {
+        seen[static_cast<std::size_t>(m)] = 1;
+        queue.push_back(m);
+      }
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (!seen[static_cast<std::size_t>(i)]) {
+      fail("disconnected graph: node " + std::to_string(i) +
+           " is unreachable from node 0");
+    }
+  }
+}
+
+}  // namespace arinoc::topo

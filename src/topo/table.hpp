@@ -1,0 +1,95 @@
+// Table-based deadlock-free routing for arbitrary fabrics.
+//
+// The compiler runs once at startup and produces, per (destination, node,
+// phase), the set of output ports that lie on a minimal *permitted* path.
+// Permitted paths follow the up*/down* discipline (Autonet; used here with
+// a deterministic BFS spanning tree rooted at node 0):
+//
+//   - level[n] = BFS hop distance from node 0; a directed link u -> v is an
+//     "up" link iff (level[v], v) < (level[u], u) lexicographically, else a
+//     "down" link. Every link is strictly one or the other, in opposite
+//     directions on its two ends.
+//   - A legal route is zero or more up links followed by zero or more down
+//     links. The forbidden turn is down -> up.
+//
+// Deadlock freedom: order channels by the (level, id) key of their sink for
+// up links and source for down links; along any permitted route, up links
+// strictly descend that key and down links strictly ascend it, and the
+// single down->up transition is forbidden, so the channel dependency graph
+// is acyclic on *every* virtual channel. Unlike the mesh's escape-VC
+// scheme, no VC restriction is needed; the escape port kept in each entry
+// just preserves the router's uniform fallback structure.
+//
+// The routing phase is derivable locally: a packet that arrived over a down
+// link is in the down phase (only down links remain legal); one that
+// arrived over an up link, or was just injected, is in the up phase. The
+// table is therefore indexed by (dest, node, phase) with phase computed
+// from (node, in_port) alone — no per-packet state.
+//
+// Distances are computed per destination by reverse BFS over the 2N-state
+// graph {(node, phase)}; the phase-0 distance is always finite (climb the
+// spanning tree to the root, then descend), so every (source, dest) pair
+// has a legal route.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "topo/graph.hpp"
+
+namespace arinoc::topo {
+
+/// Packet is still allowed to take up links.
+inline constexpr int kPhaseUp = 0;
+/// Packet has taken a down link; only down links remain legal.
+inline constexpr int kPhaseDown = 1;
+
+/// Routing decision for one (destination, node, phase) state.
+struct RouteEntry {
+  std::uint32_t port_mask = 0;  ///< Minimal legal output ports (bit = port).
+  std::int8_t escape = -1;      ///< Lowest-numbered minimal port.
+  std::uint32_t dist = kUnreachable;  ///< Hops to destination.
+
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+};
+
+class RoutingTable {
+ public:
+  /// Compiles the table for a validated graph. O(N * (N + L)) time,
+  /// O(N^2) entries.
+  explicit RoutingTable(const FabricGraph& g);
+
+  /// BFS level (distance from node 0) of `node` in the spanning tree.
+  int level(NodeId node) const {
+    return level_[static_cast<std::size_t>(node)];
+  }
+
+  /// Routing phase of a packet sitting in input port `in_port` of `node`.
+  /// Injection (in_port < 0 or a port with no incoming link) is kPhaseUp.
+  int phase_of(NodeId node, int in_port) const;
+
+  /// Entry for a packet at `node` in `phase` heading to `dest`. For any
+  /// state the table routing can actually reach, port_mask != 0 (or the
+  /// packet is at its destination).
+  const RouteEntry& entry(NodeId dest, NodeId node, int phase) const {
+    return entries_[(static_cast<std::size_t>(dest) * nodes_ +
+                     static_cast<std::size_t>(node)) * 2 +
+                    static_cast<std::size_t>(phase)];
+  }
+
+  /// Minimal legal hop count from `a` (freshly injected, phase up) to `b`.
+  std::uint32_t hops(NodeId a, NodeId b) const {
+    return entry(b, a, kPhaseUp).dist;
+  }
+
+ private:
+  std::size_t nodes_ = 0;
+  int max_ports_ = 0;
+  std::vector<int> level_;
+  /// phase_in_[node*max_ports_+port]: phase after arriving at that input.
+  std::vector<std::int8_t> phase_in_;
+  std::vector<RouteEntry> entries_;
+};
+
+}  // namespace arinoc::topo
