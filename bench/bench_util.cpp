@@ -73,4 +73,45 @@ std::vector<double> run_and_print_normalized(
   return geos;
 }
 
+std::vector<SweepPoint> fabric_axis_points() {
+  const auto grid_4x4 = [](Config& c) {
+    c.mesh_width = c.mesh_height = 4;
+    c.num_mcs = 4;
+  };
+  return {
+      {"mesh", [grid_4x4](Config& c) {
+         grid_4x4(c);
+         c.fabric = "mesh";
+       }},
+      {"torus", [grid_4x4](Config& c) {
+         grid_4x4(c);
+         c.fabric = "torus";
+       }},
+      {"cmesh", [](Config& c) {
+         c.fabric = "cmesh";
+         c.mesh_width = c.mesh_height = 2;
+         c.cmesh_concentration = 4;
+         c.num_mcs = 2;
+       }},
+      {"chiplet", [](Config& c) {
+         c.fabric = "chiplet";
+         c.mesh_width = c.mesh_height = 2;
+         c.chiplets_x = c.chiplets_y = 2;
+         c.num_mcs = 4;
+       }},
+  };
+}
+
+bool apply_fabric(const std::string& fabric, Config& c) {
+  for (const SweepPoint& p : fabric_axis_points()) {
+    if (p.label == fabric) {
+      p.tweak(c);
+      return true;
+    }
+  }
+  std::fprintf(stderr, "unknown fabric '%s' (want mesh|torus|cmesh|chiplet)\n",
+               fabric.c_str());
+  return false;
+}
+
 }  // namespace arinoc::bench

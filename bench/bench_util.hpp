@@ -13,6 +13,7 @@
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "core/sweep.hpp"
 #include "exec/options.hpp"
 
 namespace arinoc::bench {
@@ -53,5 +54,18 @@ std::vector<Metrics> run_grid(const Config& base,
                               const std::vector<std::string>& benchmarks,
                               const exec::ExecOptions& opts =
                                   exec::options_from_env(true));
+
+/// The shared fabric axis (mesh / torus / cmesh / chiplet): every point
+/// keeps 16 routers / 4 MCs so cross-fabric comparisons are about topology,
+/// not scale. cmesh concentrates the same endpoint count onto a 2x2 hub
+/// mesh; chiplet splits the 4x4 grid into four 2x2 dies with serdes on the
+/// die boundaries. Used by ext_fabric_sweep and the --fabric flag of
+/// ext_fault_resilience / ext_serving_tail, so all three benches run the
+/// identical fabric configurations.
+std::vector<SweepPoint> fabric_axis_points();
+
+/// Applies one named fabric-axis point to `c`. Returns false (after
+/// printing the known names to stderr) on an unknown fabric name.
+bool apply_fabric(const std::string& fabric, Config& c);
 
 }  // namespace arinoc::bench

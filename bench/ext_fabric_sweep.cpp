@@ -22,39 +22,6 @@ namespace {
 
 using namespace arinoc;
 
-/// Fabric axis: every point keeps 16 routers / 4 MCs so the cross-fabric
-/// comparison is about topology, not scale. cmesh concentrates the same
-/// endpoint count onto a 2x2 hub mesh; chiplet splits the 4x4 grid into
-/// four 2x2 dies with serdes on the die boundaries.
-std::vector<SweepPoint> fabric_points() {
-  const auto grid_4x4 = [](Config& c) {
-    c.mesh_width = c.mesh_height = 4;
-    c.num_mcs = 4;
-  };
-  return {
-      {"mesh", [grid_4x4](Config& c) {
-         grid_4x4(c);
-         c.fabric = "mesh";
-       }},
-      {"torus", [grid_4x4](Config& c) {
-         grid_4x4(c);
-         c.fabric = "torus";
-       }},
-      {"cmesh", [](Config& c) {
-         c.fabric = "cmesh";
-         c.mesh_width = c.mesh_height = 2;
-         c.cmesh_concentration = 4;
-         c.num_mcs = 2;
-       }},
-      {"chiplet", [](Config& c) {
-         c.fabric = "chiplet";
-         c.mesh_width = c.mesh_height = 2;
-         c.chiplets_x = c.chiplets_y = 2;
-         c.num_mcs = 4;
-       }},
-  };
-}
-
 std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
@@ -101,7 +68,9 @@ int main(int argc, char** argv) {
   const std::vector<Scheme> schemes = {Scheme::kXYBaseline, Scheme::kXYARI,
                                        Scheme::kAdaBaseline, Scheme::kAdaARI};
 
-  const std::vector<SweepPoint> points = fabric_points();
+  // Fabric axis shared with ext_fault_resilience / ext_serving_tail
+  // (their --fabric flag), so the three benches run identical fabrics.
+  const std::vector<SweepPoint> points = bench::fabric_axis_points();
   const auto cells = Sweep(base)
                          .over(points)
                          .schemes(schemes)

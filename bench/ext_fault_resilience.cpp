@@ -4,19 +4,49 @@
 // retransmission recovers, and what the retransmission overhead costs.
 // Healthy shape: IPC degrades monotonically (and gracefully) with the fault
 // rate, recovery stays >= 99%, and no scheme deadlocks.
+//
+//   ext_fault_resilience [--fabric <f>] [--out <file>] [exec flags]
+//     --fabric  mesh | torus | cmesh | chiplet — run the grid on one of the
+//               shared fabric-axis configurations (see ext_fabric_sweep;
+//               default: the base 6x6 mesh)
+//     --out     cell-grid JSON path (default: BENCH_fault_resilience.json)
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "bench_util.hpp"
 #include "exec/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace arinoc;
-  const exec::ExecOptions opts = exec::require_exec_flags(argc, argv);
+  exec::ExecOptions opts = exec::options_from_env(true);
+  if (!exec::parse_exec_flags(argc, argv, opts)) return 2;
+  std::string fabric = "mesh";
+  bool fabric_flag = false;
+  std::string out_path = "BENCH_fault_resilience.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fabric" && i + 1 < argc) {
+      fabric = argv[++i];
+      fabric_flag = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ext_fault_resilience [--fabric <f>] "
+                   "[--out <file>]\n");
+      return 2;
+    }
+  }
   bench::banner("Extension — fault resilience (corruption rate x scheme)",
                 "reply-side CRC + retransmission recovers >=99% of corrupted "
                 "packets; IPC degrades gracefully and monotonically");
-  const Config base = make_base_config();
+  Config base = make_base_config();
+  // --fabric maps onto the shared fabric-axis configs so results line up
+  // with ext_fabric_sweep cells. Without the flag the base 6x6 mesh runs
+  // unchanged (the shape thresholds below were calibrated on it).
+  if (fabric_flag && !bench::apply_fabric(fabric, base)) return 2;
   const std::string benchmark = "bfs";
   const double rates[] = {0.0, 1e-4, 5e-4, 2e-3};
   const Scheme schemes[] = {Scheme::kXYBaseline, Scheme::kAdaBaseline,
@@ -42,6 +72,9 @@ int main(int argc, char** argv) {
   const auto results = runner.run(cells);
 
   bool shape_ok = true;
+  std::ostringstream js;
+  js << "{\n  \"fabric\": \"" << fabric << "\",\n  \"cells\": [\n";
+  bool first_cell = true;
   std::size_t cell = 0;
   for (const Scheme scheme : schemes) {
     TextTable t({"corrupt rate", "IPC", "IPC vs fault-free", "corrupted",
@@ -76,6 +109,17 @@ int main(int argc, char** argv) {
                  std::to_string(m.packets_recovered),
                  std::to_string(m.packets_lost), fmt_pct(overhead, 2)});
 
+      js << (first_cell ? "" : ",\n") << "    {\"fabric\": \"" << fabric
+         << "\", \"scheme\": \"" << scheme_name(scheme)
+         << "\", \"corrupt_rate\": " << rate << ", \"ipc\": " << m.ipc
+         << ", \"packets_corrupted\": " << m.packets_corrupted
+         << ", \"packets_retransmitted\": " << m.packets_retransmitted
+         << ", \"packets_recovered\": " << m.packets_recovered
+         << ", \"packets_lost\": " << m.packets_lost
+         << ", \"retx_flits\": " << m.activity.noc_retx_flits
+         << ", \"retx_flit_overhead\": " << overhead << "}";
+      first_cell = false;
+
       // Shape checks: recovery >= 99% of corrupted packets; IPC must not
       // *improve* materially as the fault rate rises. The tolerance covers
       // scheduling noise: at the smallest rates a congested baseline can
@@ -100,6 +144,9 @@ int main(int argc, char** argv) {
     std::printf("%s on %s\n%s\n", scheme_name(scheme), benchmark.c_str(),
                 t.to_string().c_str());
   }
+  js << "\n  ]\n}\n";
+  std::ofstream(out_path) << js.str();
+  std::printf("wrote %s\n", out_path.c_str());
   std::printf("shape check: %s\n", shape_ok ? "ok" : "FAILED");
   return shape_ok ? 0 : 1;
 }

@@ -13,8 +13,11 @@
 // exists (top load is past every scheme's capacity), goodput never exceeds
 // offered load, and admission sheds under overload.
 //
-//   ext_serving_tail [--quick] [--out <file>] [exec flags]
+//   ext_serving_tail [--quick] [--fabric <f>] [--out <file>] [exec flags]
 //     --quick   smaller grid + shorter runs (CI smoke)
+//     --fabric  mesh | torus | cmesh | chiplet — run the grid on one of the
+//               shared fabric-axis configurations (see ext_fabric_sweep;
+//               default: the base 6x6 mesh)
 //     --out     output JSON path (default: BENCH_serving_tail.json)
 #include <cmath>
 #include <cstdio>
@@ -30,16 +33,22 @@ int main(int argc, char** argv) {
   exec::ExecOptions opts = exec::options_from_env(true);
   if (!exec::parse_exec_flags(argc, argv, opts)) return 2;
   bool quick = false;
+  std::string fabric = "mesh";
+  bool fabric_flag = false;
   std::string out = "BENCH_serving_tail.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--fabric" && i + 1 < argc) {
+      fabric = argv[++i];
+      fabric_flag = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: ext_serving_tail [--quick] [--out <file>]\n");
+                   "usage: ext_serving_tail [--quick] [--fabric <f>] "
+                   "[--out <file>]\n");
       return 2;
     }
   }
@@ -49,7 +58,11 @@ int main(int argc, char** argv) {
       "open-loop load exposes the reply-side saturation cliff; admission "
       "control degrades gracefully (sheds requests, protects replies)");
 
-  const Config base = make_base_config();
+  Config base = make_base_config();
+  // --fabric maps onto the shared fabric-axis configs so results line up
+  // with ext_fabric_sweep cells. Without the flag the base 6x6 mesh runs
+  // unchanged (the cliff thresholds below were calibrated on it).
+  if (fabric_flag && !bench::apply_fabric(fabric, base)) return 2;
   const std::string benchmark = "bfs";  // Names the cell; clients ignore it.
   const std::vector<Scheme> schemes =
       quick ? std::vector<Scheme>{Scheme::kXYBaseline, Scheme::kAdaARI}
@@ -90,8 +103,8 @@ int main(int argc, char** argv) {
 
   bool shape_ok = true;
   std::ostringstream js;
-  js << "{\n  \"quick\": " << (quick ? "true" : "false")
-     << ",\n  \"pace\": \"constant:0.04\",\n  \"cells\": [\n";
+  js << "{\n  \"quick\": " << (quick ? "true" : "false") << ",\n  \"fabric\": \""
+     << fabric << "\",\n  \"pace\": \"constant:0.04\",\n  \"cells\": [\n";
   bool first_cell = true;
 
   std::size_t cell = 0;
@@ -120,7 +133,8 @@ int main(int argc, char** argv) {
 
         js << (first_cell ? "" : ",\n");
         first_cell = false;
-        js << "    {\"scheme\": \"" << scheme_name(scheme)
+        js << "    {\"fabric\": \"" << fabric << "\", \"scheme\": \""
+           << scheme_name(scheme)
            << "\", \"load\": " << load << ", \"admission\": "
            << (admission ? "true" : "false")
            << ", \"offered_rate\": " << m.offered_rate

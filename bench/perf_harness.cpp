@@ -6,6 +6,13 @@
 // Any divergence is a missed-wake/catch-up bug and fails the harness (exit
 // 1): the speed numbers of a wrong simulator are meaningless.
 //
+// A second section times latency attribution (src/obs/attr): the same cell
+// with and without an attached LatencyAttributor. Attribution must not
+// perturb the simulation — the metrics byte-compare once the attr summary
+// fields are scrubbed — and its wall-clock overhead is reported against the
+// < 5% budget (a warning, not a gate: shared CI machines are too noisy for
+// a hard wall-clock threshold).
+//
 // Usage:
 //   perf_harness [--quick] [--out <file>]
 //
@@ -14,7 +21,8 @@
 //
 // Output JSON: one object per cell with cycles/sec for both modes and the
 // activity/always-on speedup, plus the geometric-mean speedup over all
-// cells. See docs/performance.md for how to read it.
+// cells and the attribution-overhead section. See docs/performance.md for
+// how to read it.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -26,6 +34,7 @@
 #include "core/experiment.hpp"
 #include "core/gpgpu_sim.hpp"
 #include "core/report.hpp"
+#include "obs/attr.hpp"
 #include "workloads/benchmark.hpp"
 
 using namespace arinoc;
@@ -99,6 +108,56 @@ std::string json_escape_name(const Cell& c) {
   return fabric;
 }
 
+struct AttrResult {
+  Cell cell;
+  double off_cps = 0.0;  ///< Cycles/sec without an attributor attached.
+  double on_cps = 0.0;   ///< Cycles/sec with attribution recording.
+  double overhead = 0.0; ///< off/on - 1 (fraction of wall-clock added).
+  bool identical = false;  ///< Scrubbed attr-on metrics == attr-off metrics.
+  std::uint64_t violations = 0;  ///< Conservation-check failures (want 0).
+};
+
+/// Times one cell with and without latency attribution (activity-driven
+/// stepping both times). Attribution is host-side observation only, so the
+/// attr-on metrics — with the attr summary fields scrubbed back out — must
+/// byte-match the attr-off run; any difference means a hook perturbed the
+/// simulation.
+AttrResult run_attr_cell(const Cell& cell, bool quick) {
+  Config cfg = cell_config(cell, quick);
+  cfg.activity_driven = true;
+  AttrResult r;
+  r.cell = cell;
+
+  GpgpuSim off(cfg, *find_benchmark(cell.workload), cell.da2mesh);
+  auto t0 = std::chrono::steady_clock::now();
+  off.run_with_warmup();
+  auto t1 = std::chrono::steady_clock::now();
+  const double total = static_cast<double>(cfg.warmup_cycles + cfg.run_cycles);
+  r.off_cps = total /
+      std::max(std::chrono::duration<double>(t1 - t0).count(), 1e-9);
+  const std::string off_json = metrics_to_json(off.collect());
+
+  obs::LatencyAttributor attr;
+  GpgpuSim on(cfg, *find_benchmark(cell.workload), cell.da2mesh);
+  on.attach_attributor(&attr);
+  t0 = std::chrono::steady_clock::now();
+  on.run_with_warmup();
+  t1 = std::chrono::steady_clock::now();
+  r.on_cps = total /
+      std::max(std::chrono::duration<double>(t1 - t0).count(), 1e-9);
+  r.overhead = r.off_cps / std::max(r.on_cps, 1e-9) - 1.0;
+
+  Metrics scrubbed = on.collect();
+  r.violations = scrubbed.attr_violations;
+  scrubbed.attr_enabled = false;
+  scrubbed.request_stage_share = {};
+  scrubbed.reply_stage_share = {};
+  scrubbed.attr_violations = 0;
+  scrubbed.bottleneck.clear();
+  r.identical = metrics_to_json(scrubbed) == off_json;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,6 +207,26 @@ int main(int argc, char** argv) {
       std::exp(log_sum / static_cast<double>(results.size()));
   std::printf("geomean speedup: %.2fx\n", geomean);
 
+  // Attribution overhead: one light and one saturated cell cover the
+  // per-packet hook cost at both ends of the injection range.
+  std::printf("\nlatency attribution overhead (budget: <5%% wall-clock):\n");
+  std::vector<AttrResult> attr_results;
+  bool attr_ok = true;
+  for (const Cell& cell : {cells[1], cells[3]}) {
+    const AttrResult a = run_attr_cell(cell, quick);
+    std::printf("%-20s %9.0f -> %9.0f cyc/s  (+%.1f%%)%s%s\n",
+                a.cell.name.c_str(), a.off_cps, a.on_cps, a.overhead * 100.0,
+                a.identical ? "" : "  ** METRICS PERTURBED **",
+                a.violations == 0 ? "" : "  ** CONSERVATION VIOLATED **");
+    if (a.overhead > 0.05) {
+      std::printf("  (warning: overhead %.1f%% above the 5%% budget — rerun "
+                  "on a quiet machine before acting on it)\n",
+                  a.overhead * 100.0);
+    }
+    attr_ok = attr_ok && a.identical && a.violations == 0;
+    attr_results.push_back(a);
+  }
+
   std::ostringstream js;
   js << "{\n  \"quick\": " << (quick ? "true" : "false")
      << ",\n  \"cells\": [\n";
@@ -163,13 +242,33 @@ int main(int argc, char** argv) {
        << (r.identical ? "true" : "false") << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  js << "  ],\n  \"geomean_speedup\": " << geomean << "\n}\n";
+  js << "  ],\n  \"geomean_speedup\": " << geomean
+     << ",\n  \"attr_overhead\": [\n";
+  for (std::size_t i = 0; i < attr_results.size(); ++i) {
+    const AttrResult& a = attr_results[i];
+    js << "    {\"name\": \"" << a.cell.name << "\", \"workload\": \""
+       << a.cell.workload << "\", \"scheme\": \""
+       << scheme_name(a.cell.scheme)
+       << "\", \"off_cps\": " << std::llround(a.off_cps)
+       << ", \"on_cps\": " << std::llround(a.on_cps)
+       << ", \"overhead\": " << a.overhead << ", \"non_perturbing\": "
+       << (a.identical ? "true" : "false")
+       << ", \"attr_violations\": " << a.violations << "}"
+       << (i + 1 < attr_results.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
   std::ofstream(out) << js.str();
   std::printf("wrote %s\n", out.c_str());
 
   if (!all_identical) {
     std::fprintf(stderr,
                  "FAIL: activity-driven metrics diverged from always-on\n");
+    return 1;
+  }
+  if (!attr_ok) {
+    std::fprintf(stderr,
+                 "FAIL: latency attribution perturbed the simulation or "
+                 "broke latency conservation\n");
     return 1;
   }
   return 0;

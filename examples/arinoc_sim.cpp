@@ -45,6 +45,15 @@
 //     --sample-out <file>     telemetry JSONL path (needs --sample-interval)
 //     --counters-out <file>   dump the counter registry as JSON after the
 //                             run
+//     --attr-out <file>       latency-attribution report JSON (per-stage
+//                             breakdown, top-k bottlenecks, congestion
+//                             series; see docs/observability.md)
+//     --attr-html <file>      self-contained HTML dashboard: fabric heatmap
+//                             with a time-window slider over the congestion
+//                             series (implies attribution)
+//     --attr-window <n>       congestion-series window in cycles (512)
+//     --self-profile <file>   per-epoch simulator self-profile JSONL:
+//                             subsystem wall-clock + activity wake rates
 //   Environment fallbacks: ARINOC_TRACE (any value), ARINOC_TRACE_OUT,
 //   ARINOC_SAMPLE_INTERVAL, ARINOC_SAMPLE_OUT. Observed runs execute the
 //   simulator directly (same per-cell seed derivation as the execution
@@ -108,7 +117,9 @@
 #include "core/report.hpp"
 #include "exec/options.hpp"
 #include "exec/runner.hpp"
+#include "obs/attr.hpp"
 #include "obs/registry.hpp"
+#include "obs/selfprof.hpp"
 #include "obs/trace.hpp"
 #include "topo/fabric.hpp"
 #include "topo/file.hpp"
@@ -188,13 +199,19 @@ struct ObsOptions {
   std::size_t trace_capacity = obs::PacketTracer::kDefaultCapacity;
   std::string sample_out;    ///< Telemetry JSONL (needs --sample-interval).
   std::string counters_out;  ///< Counter-registry JSON dump.
+  std::string attr_out;      ///< Latency-attribution report JSON.
+  std::string attr_html;     ///< Attribution dashboard (self-contained HTML).
+  Cycle attr_window = 0;     ///< Congestion-series window (0 = default).
+  std::string self_profile;  ///< Simulator self-profile JSONL.
 
   /// Any observer active means the run executes the simulator directly
   /// instead of going through the exec engine (whose workers own their
   /// simulators, so there is nothing to attach a tracer to).
   bool any() const {
-    return trace || !sample_out.empty() || !counters_out.empty();
+    return trace || !sample_out.empty() || !counters_out.empty() ||
+           !attr_out.empty() || !attr_html.empty() || !self_profile.empty();
   }
+  bool attr() const { return !attr_out.empty() || !attr_html.empty(); }
 };
 
 ObsOptions obs_from_env() {
@@ -298,6 +315,12 @@ int run_observed(GpgpuSim& sim, const ObsOptions& obs, Cycle sample_interval,
   obs::PacketTracer tracer(obs.trace_capacity);
   if (obs.trace) sim.attach_tracer(&tracer);
   if (sample_interval > 0) sim.enable_sampling(sample_interval);
+  obs::LatencyAttributor attr(
+      obs.attr_window > 0 ? obs.attr_window
+                          : obs::LatencyAttributor::kDefaultWindow);
+  if (obs.attr()) sim.attach_attributor(&attr);
+  obs::SelfProfiler prof;
+  if (!obs.self_profile.empty()) sim.attach_self_profiler(&prof);
 
   int status = 0;
   std::string trip_text;
@@ -308,6 +331,7 @@ int run_observed(GpgpuSim& sim, const ObsOptions& obs, Cycle sample_interval,
     trip_text = std::string(trip.what()) + "\n" + trip.dump();
   }
   if (sample_interval > 0) sim.flush_sampler();
+  if (!obs.self_profile.empty()) prof.finish(sim.now());
   if (status == 0) m = sim.collect();
 
   if (obs.trace) {
@@ -325,6 +349,19 @@ int run_observed(GpgpuSim& sim, const ObsOptions& obs, Cycle sample_interval,
     obs::CounterRegistry reg;
     sim.register_counters(&reg);
     if (!write_file(obs.counters_out, reg.to_json() + "\n") && status == 0)
+      status = 1;
+  }
+  if (!obs.attr_out.empty()) {
+    if (!write_file(obs.attr_out, attr.to_json() + "\n") && status == 0)
+      status = 1;
+  }
+  if (!obs.attr_html.empty()) {
+    const std::string html =
+        obs::attr_html_document(attr, &sim.fabric().graph());
+    if (!write_file(obs.attr_html, html) && status == 0) status = 1;
+  }
+  if (!obs.self_profile.empty()) {
+    if (!write_file(obs.self_profile, prof.to_jsonl()) && status == 0)
       status = 1;
   }
   if (!trip_text.empty()) std::fprintf(stderr, "%s", trip_text.c_str());
@@ -373,6 +410,18 @@ int main(int argc, char** argv) {
       obs.sample_out = value();
     } else if (arg == "--counters-out") {
       obs.counters_out = value();
+    } else if (arg == "--attr-out") {
+      obs.attr_out = value();
+    } else if (arg == "--attr-html") {
+      obs.attr_html = value();
+    } else if (arg == "--attr-window") {
+      obs.attr_window = std::strtoull(value(), nullptr, 10);
+      if (obs.attr_window == 0) {
+        std::fprintf(stderr, "--attr-window requires a positive cycle count\n");
+        return 2;
+      }
+    } else if (arg == "--self-profile") {
+      obs.self_profile = value();
     } else if (arg == "--scheme") {
       const std::string name = value();
       const auto s = parse_scheme(name);

@@ -5,6 +5,6 @@
 
 namespace arinoc {
 
-inline constexpr const char kArinocVersion[] = "0.5.0-fabrics";
+inline constexpr const char kArinocVersion[] = "0.6.0-attr";
 
 }  // namespace arinoc

@@ -5,7 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/attr.hpp"
 #include "obs/registry.hpp"
+#include "obs/selfprof.hpp"
 #include "obs/trace.hpp"
 
 namespace arinoc {
@@ -330,6 +332,7 @@ GpgpuSim::~GpgpuSim() = default;
 
 void GpgpuSim::step() {
   const Cycle now = cycle_;
+  if (prof_) prof_->begin(obs::ProfPhase::kFrontend);
   // 0) Degradation FSM: one update per cycle from the reply-side pressure
   // signal (mean reply-NI queue occupancy as a fraction of capacity, plus
   // the watchdog's pre-trip warning), before any traffic source runs so
@@ -346,6 +349,45 @@ void GpgpuSim::step() {
   // Open-loop clients are paced by the arrival schedule, not system state:
   // they step every cycle in both stepping modes (cores_ is empty here).
   for (auto& cl : clients_) cl->cycle(now);
+  if (prof_) {
+    prof_->end(obs::ProfPhase::kFrontend);
+    // Components that will be stepped this cycle vs the always-on capacity
+    // (in always-on mode every component steps).
+    const std::uint64_t routers_total =
+        static_cast<std::uint64_t>(fabric_.nodes()) * (overlay_ ? 1 : 2);
+    if (activity_) {
+      prof_->record_wakes(obs::ProfGroup::kCores, core_act_.pending(),
+                          cores_.size());
+      prof_->record_wakes(obs::ProfGroup::kMcs, mc_act_.pending(),
+                          mcs_.size());
+      prof_->record_wakes(
+          obs::ProfGroup::kInjectNis,
+          req_inj_act_.pending() + (overlay_ ? 0 : rep_inj_act_.pending()),
+          request_inject_.size() + (overlay_ ? 0 : reply_inject_.size()));
+      prof_->record_wakes(
+          obs::ProfGroup::kEjectNis,
+          req_ej_act_.pending() + rep_ej_act_.pending(),
+          request_eject_.size() + reply_eject_.size());
+      prof_->record_wakes(
+          obs::ProfGroup::kRouters,
+          request_net_->routers_pending() +
+              (overlay_ ? 0 : reply_net_->routers_pending()),
+          routers_total);
+    } else {
+      prof_->record_wakes(obs::ProfGroup::kCores, cores_.size(),
+                          cores_.size());
+      prof_->record_wakes(obs::ProfGroup::kMcs, mcs_.size(), mcs_.size());
+      prof_->record_wakes(
+          obs::ProfGroup::kInjectNis,
+          request_inject_.size() + (overlay_ ? 0 : reply_inject_.size()),
+          request_inject_.size() + (overlay_ ? 0 : reply_inject_.size()));
+      prof_->record_wakes(obs::ProfGroup::kEjectNis,
+                          request_eject_.size() + reply_eject_.size(),
+                          request_eject_.size() + reply_eject_.size());
+      prof_->record_wakes(obs::ProfGroup::kRouters, routers_total,
+                          routers_total);
+    }
+  }
   if (activity_) {
     // Activity-driven stepping: each phase drains its active set in
     // ascending index order — the same order as the always-on loops — so
@@ -354,15 +396,24 @@ void GpgpuSim::step() {
     // sleep predicate fails after stepping; external wake edges (deliver,
     // finish_accept, ejection-buffer push) cover everything else.
     // 1) Cores generate and emit traffic (into request NIs via their ports).
+    if (prof_) prof_->begin(obs::ProfPhase::kCores);
     core_act_.drain_sorted([&](std::size_t i) {
       cores_[i]->cycle(now);
       if (!cores_[i]->can_sleep()) core_act_.wake(i);
     });
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kCores);
+      prof_->begin(obs::ProfPhase::kMcs);
+    }
     // 2) MCs service requests, tick DRAM, forward replies into reply NIs.
     mc_act_.drain_sorted([&](std::size_t i) {
       mcs_[i]->cycle(now);
       if (!mcs_[i]->can_sleep()) mc_act_.wake(i);
     });
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kMcs);
+      prof_->begin(obs::ProfPhase::kInjectNi);
+    }
     // 3) Injection NIs move flits into the routers. Accepts from phases 1-2
     //    woke these sets before this drain, so same-cycle supply matches the
     //    always-on schedule; retransmission re-injections (phase 4) wake the
@@ -377,12 +428,20 @@ void GpgpuSim::step() {
         if (!reply_inject_[i]->idle()) rep_inj_act_.wake(i);
       });
     }
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kInjectNi);
+      prof_->begin(obs::ProfPhase::kNetworks);
+    }
     // 4) Networks advance one cycle (router active sets live inside).
     request_net_->step(now);
     if (overlay_) {
       overlay_->step(now);
     } else {
       reply_net_->step(now);
+    }
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kNetworks);
+      prof_->begin(obs::ProfPhase::kEjectNi);
     }
     // 5) Ejection NIs drain router ejection buffers into the sinks. The
     //    routers woke these sets when ejecting (phase 4, same cycle); a
@@ -400,15 +459,29 @@ void GpgpuSim::step() {
         rep_ej_act_.wake(i);
       }
     });
+    if (prof_) prof_->end(obs::ProfPhase::kEjectNi);
   } else {
     // 1) Cores generate and emit traffic (into request NIs via their ports).
+    if (prof_) prof_->begin(obs::ProfPhase::kCores);
     for (auto& core : cores_) core->cycle(now);
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kCores);
+      prof_->begin(obs::ProfPhase::kMcs);
+    }
     // 2) MCs service requests, tick DRAM, forward replies into reply NIs.
     for (auto& mc : mcs_) mc->cycle(now);
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kMcs);
+      prof_->begin(obs::ProfPhase::kInjectNi);
+    }
     // 3) Injection NIs move flits into the routers.
     for (auto& ni : request_inject_) ni->cycle(now);
     if (!overlay_) {
       for (auto& ni : reply_inject_) ni->cycle(now);
+    }
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kInjectNi);
+      prof_->begin(obs::ProfPhase::kNetworks);
     }
     // 4) Networks advance one cycle.
     request_net_->step(now);
@@ -417,11 +490,17 @@ void GpgpuSim::step() {
     } else {
       reply_net_->step(now);
     }
+    if (prof_) {
+      prof_->end(obs::ProfPhase::kNetworks);
+      prof_->begin(obs::ProfPhase::kEjectNi);
+    }
     // 5) Ejection NIs drain router ejection buffers into the sinks.
     for (auto& ni : request_eject_) ni->cycle(now);
     for (auto& ni : reply_eject_) ni->cycle(now);
+    if (prof_) prof_->end(obs::ProfPhase::kEjectNi);
   }
   // 6) Sampling.
+  if (prof_) prof_->begin(obs::ProfPhase::kSampling);
   if (!overlay_) {
     for (auto& ni : reply_inject_) ni->sample();
   }
@@ -429,10 +508,12 @@ void GpgpuSim::step() {
   if (sampler_ && cycle_ - sample_anchor_ >= sampler_->interval()) {
     take_sample();
   }
+  if (prof_) prof_->end(obs::ProfPhase::kSampling);
 
   // 7) Liveness checks (read-only; subsampled inside the watchdog). The
   // overlay reply path has no movement probes, so only the mesh networks
   // are monitored there.
+  if (prof_) prof_->begin(obs::ProfPhase::kWatchdog);
   if (watchdog_) {
     const auto observe = [this]() {
       Watchdog::Observation obs;
@@ -475,6 +556,10 @@ void GpgpuSim::step() {
                          diagnostic_dump(summary.str()));
     }
   }
+  if (prof_) {
+    prof_->end(obs::ProfPhase::kWatchdog);
+    prof_->on_cycle_end(now);
+  }
 }
 
 void GpgpuSim::run(Cycle cycles) {
@@ -511,6 +596,10 @@ void GpgpuSim::reset_stats() {
   for (auto& g : gates_) g->reset_stats();
   if (degrade_) degrade_->reset_stats();
   pre_trip_base_ = watchdog_ ? watchdog_->pre_trip_count() : 0;
+  // Warmup traffic never leaks into measured attribution; packets in flight
+  // across the reset simply go unattributed (their remaining hooks no-op).
+  if (attr_) attr_->clear();
+  if (prof_) prof_->clear();
   measure_start_ = cycle_;
   if (sampler_) {
     // Warmup windows never leak into the series: drop them and re-baseline
@@ -527,6 +616,13 @@ void GpgpuSim::attach_tracer(obs::PacketTracer* t) {
   tracer_ = t;
   request_net_->set_tracer(t, 0);
   reply_net_->set_tracer(t, 1);
+}
+
+void GpgpuSim::attach_attributor(obs::LatencyAttributor* a) {
+  attr_ = a;
+  request_net_->set_attributor(a, 0);
+  reply_net_->set_attributor(a, 1);
+  if (a) a->set_topology(&fabric_.graph());
 }
 
 void GpgpuSim::enable_sampling(Cycle interval) {
@@ -988,6 +1084,24 @@ Metrics GpgpuSim::collect() const {
       a.noc_retx_flits = rtx->retransmitted_flits();
     }
   }
+  // Latency-attribution summary (inert without an attached attributor).
+  if (attr_) {
+    m.attr_enabled = true;
+    m.attr_violations = attr_->conservation_violations();
+    for (std::uint8_t net = 0; net < 2; ++net) {
+      auto& share = net == 0 ? m.request_stage_share : m.reply_stage_share;
+      const double e2e = static_cast<double>(attr_->e2e_total(net));
+      if (e2e > 0) {
+        for (std::size_t i = 0; i < obs::kNumAttrStages; ++i) {
+          share[i] = static_cast<double>(attr_->stage_total(
+                         net, static_cast<obs::AttrStage>(i))) /
+                     e2e;
+        }
+      }
+    }
+    m.bottleneck = attr_->top_label();
+  }
+
   m.energy = EnergyModel{}.evaluate(a);
   return m;
 }

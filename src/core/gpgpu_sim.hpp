@@ -5,6 +5,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/active_set.hpp"
@@ -33,6 +34,8 @@ namespace arinoc {
 namespace obs {
 class PacketTracer;
 class CounterRegistry;
+class LatencyAttributor;
+class SelfProfiler;
 }
 
 /// Everything the evaluation figures need from one measured run.
@@ -101,6 +104,17 @@ struct Metrics {
   Cycle cycles_throttled = 0;
   Cycle cycles_shedding = 0;
   std::uint64_t watchdog_pre_trips = 0;  ///< Pre-trip warning rising edges.
+
+  // ---- Latency attribution (inert unless an attributor is attached) ----
+  bool attr_enabled = false;
+  /// Fraction of delivered e2e latency per stage (ni_queue, vc_wait,
+  /// sw_wait, link, eject, retx), per fabric; each array sums to ~1 when
+  /// any packets were delivered.
+  std::array<double, 6> request_stage_share{};
+  std::array<double, 6> reply_stage_share{};
+  std::uint64_t attr_violations = 0;  ///< Conservation-check failures.
+  /// Rank-1 bottleneck label + share ("reply ni_queue at mc21 61.0%").
+  std::string bottleneck;
 
   ActivityCounters activity;
   EnergyBreakdown energy;
@@ -177,6 +191,18 @@ class GpgpuSim {
   /// trace hooks; with the overlay active only the request side is traced.
   void attach_tracer(obs::PacketTracer* t);
   obs::PacketTracer* tracer() const { return tracer_; }
+
+  /// Attaches a latency attributor to both networks and their routers (null
+  /// detaches) and hands it the fabric graph for labels/coordinates. The
+  /// DA2mesh overlay reply path has no hooks; with the overlay active only
+  /// the request side is attributed.
+  void attach_attributor(obs::LatencyAttributor* a);
+  obs::LatencyAttributor* attributor() const { return attr_; }
+
+  /// Attaches the wall-clock self-profiler (null detaches). Host-side
+  /// measurement only: simulated behaviour is identical either way.
+  void attach_self_profiler(obs::SelfProfiler* p) { prof_ = p; }
+  obs::SelfProfiler* self_profiler() const { return prof_; }
 
   /// Starts periodic telemetry sampling: every `interval` cycles one
   /// TelemetrySample is recorded over the window just ended. interval == 0
@@ -264,6 +290,8 @@ class GpgpuSim {
   void take_sample();
 
   obs::PacketTracer* tracer_ = nullptr;
+  obs::LatencyAttributor* attr_ = nullptr;
+  obs::SelfProfiler* prof_ = nullptr;
   std::unique_ptr<obs::TelemetrySampler> sampler_;
   ObsBaseline obs_base_;
   Cycle sample_anchor_ = 0;

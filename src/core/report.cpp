@@ -129,6 +129,28 @@ std::string metrics_to_json(const Metrics& m, int indent) {
   num("energy_dynamic_nj", m.energy.dynamic_nj());
   num("energy_static_nj", m.energy.static_nj);
   num("energy_total_nj", m.energy.total_nj());
+  // Attribution block only when an attributor ran, so unattributed output
+  // stays byte-identical to pre-attribution builds.
+  if (m.attr_enabled) {
+    static const char* kStageKeys[6] = {"ni_queue", "vc_wait", "sw_wait",
+                                        "link",     "eject",   "retx"};
+    for (int i = 0; i < 6; ++i) {
+      num((std::string("attr_request_") + kStageKeys[i]).c_str(),
+          m.request_stage_share[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < 6; ++i) {
+      num((std::string("attr_reply_") + kStageKeys[i]).c_str(),
+          m.reply_stage_share[static_cast<std::size_t>(i)]);
+    }
+    num("attr_violations", static_cast<double>(m.attr_violations));
+    std::string esc;
+    for (const char c : m.bottleneck) {
+      if (c == '"' || c == '\\') esc += '\\';
+      esc += c;
+    }
+    os << sep << pad << "\"bottleneck\": \"" << esc << '"';
+    sep = ",\n";
+  }
   os << "\n}";
   return os.str();
 }

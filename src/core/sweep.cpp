@@ -29,6 +29,8 @@ std::vector<SweepCell> Sweep::run() const {
   opts.progress = progress_;
   opts.sample_interval = sample_interval_;
   opts.telemetry_dir = telemetry_dir_;
+  opts.attr_dir = attr_dir_;
+  opts.attr_window = attr_window_;
   exec::ExperimentRunner runner(base_, std::move(opts));
   const auto ran = runner.run(specs);
 
@@ -36,7 +38,8 @@ std::vector<SweepCell> Sweep::run() const {
   cells.reserve(ran.size());
   for (const auto& r : ran) {
     cells.push_back({r.point, r.scheme, r.benchmark, r.fabric, r.metrics,
-                     r.error, r.error_kind, r.from_cache, r.telemetry_path});
+                     r.error, r.error_kind, r.from_cache, r.telemetry_path,
+                     r.attr_path});
   }
   return cells;
 }
@@ -61,7 +64,7 @@ std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
         "l1_hit_rate,l2_hit_rate,dram_row_hit_rate,energy_total_nj,"
         "reply_latency_p50,reply_latency_p95,reply_latency_p99,"
         "reply_latency_p999,offered_rate,goodput,requests_shed,"
-        "e2e_latency_p99,cycles_degraded,fabric,error\n";
+        "e2e_latency_p99,cycles_degraded,fabric,bottleneck,error\n";
   for (const SweepCell& c : cells) {
     const Metrics& m = c.metrics;
     const std::string error =
@@ -78,7 +81,8 @@ std::string Sweep::to_csv(const std::vector<SweepCell>& cells) {
        << m.goodput << ',' << m.requests_shed << ','
        << m.e2e_latency_p99 << ','
        << (m.cycles_throttled + m.cycles_shedding) << ','
-       << csv_escape(c.fabric) << ',' << csv_escape(error) << '\n';
+       << csv_escape(c.fabric) << ',' << csv_escape(m.bottleneck) << ','
+       << csv_escape(error) << '\n';
   }
   return os.str();
 }

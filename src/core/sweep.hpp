@@ -39,6 +39,8 @@ struct SweepCell {
   bool from_cache = false;
   /// Telemetry JSONL written for this cell (sampling enabled, run ok).
   std::string telemetry_path;
+  /// Attribution report JSON written for this cell (attribution on, run ok).
+  std::string attr_path;
 
   bool ok() const { return error.empty(); }
 };
@@ -86,6 +88,15 @@ class Sweep {
     telemetry_dir_ = std::move(dir);
     return *this;
   }
+  /// Per-cell latency attribution: write one report JSON per cell into
+  /// `dir` and fill the Metrics attr summary (the CSV `bottleneck` column).
+  /// Attribution cells bypass the result cache. `window` = congestion-series
+  /// window in cycles (0 = the attributor default).
+  Sweep& attribution(std::string dir, Cycle window = 0) {
+    attr_dir_ = std::move(dir);
+    attr_window_ = window;
+    return *this;
+  }
 
   /// Runs the full grid (points x schemes x benchmarks). Results are in
   /// grid order regardless of jobs/scheduling.
@@ -110,6 +121,8 @@ class Sweep {
   bool progress_ = false;
   Cycle sample_interval_ = 0;
   std::string telemetry_dir_;
+  std::string attr_dir_;
+  Cycle attr_window_ = 0;
 };
 
 }  // namespace arinoc

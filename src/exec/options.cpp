@@ -30,6 +30,7 @@ ExecOptions options_from_env(bool default_cache) {
   if (const char* dir = std::getenv("ARINOC_TELEMETRY_DIR")) {
     opts.telemetry_dir = dir;
   }
+  if (const char* dir = std::getenv("ARINOC_ATTR_DIR")) opts.attr_dir = dir;
   opts.progress = ARINOC_ISATTY_STDERR();
   return opts;
 }
@@ -77,6 +78,10 @@ bool parse_exec_flags(int& argc, char** argv, ExecOptions& opts) {
       const char* v = value("--telemetry-dir");
       if (v == nullptr) return false;
       opts.telemetry_dir = v;
+    } else if (std::strcmp(arg, "--attr-dir") == 0) {
+      const char* v = value("--attr-dir");
+      if (v == nullptr) return false;
+      opts.attr_dir = v;
     } else {
       argv[out++] = argv[i];  // Not ours: keep for the caller.
     }
@@ -91,7 +96,8 @@ ExecOptions require_exec_flags(int argc, char** argv, bool default_cache) {
   if (argc > 1) {
     std::fprintf(stderr,
                  "unknown option '%s' (supported: --jobs N, --no-cache, "
-                 "--cache-dir D, --sample-interval N, --telemetry-dir D)\n",
+                 "--cache-dir D, --sample-interval N, --telemetry-dir D, "
+                 "--attr-dir D)\n",
                  argv[1]);
     std::exit(2);
   }

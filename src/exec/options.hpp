@@ -7,11 +7,13 @@
 //   --cache-dir D        result-cache directory
 //   --sample-interval N  telemetry sample every N cycles (0 = off)
 //   --telemetry-dir D    per-cell telemetry JSONL directory
+//   --attr-dir D         per-cell latency-attribution report directory
+//                        (setting it turns attribution on for every cell)
 //
 // Environment fallbacks (read first, flags override): ARINOC_JOBS,
 // ARINOC_NO_CACHE (any value), ARINOC_CACHE_DIR, ARINOC_SAMPLE_INTERVAL,
-// ARINOC_TELEMETRY_DIR. Progress/ETA reporting defaults to on when stderr
-// is a terminal.
+// ARINOC_TELEMETRY_DIR, ARINOC_ATTR_DIR. Progress/ETA reporting defaults to
+// on when stderr is a terminal.
 #pragma once
 
 #include "exec/runner.hpp"

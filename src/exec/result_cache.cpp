@@ -136,6 +136,26 @@ std::string serialize_metrics(const Metrics& m) {
   d("energy_dynamic_mem_nj", m.energy.dynamic_mem_nj);
   d("energy_dynamic_core_nj", m.energy.dynamic_core_nj);
   d("energy_static_nj", m.energy.static_nj);
+  u("attr_enabled", m.attr_enabled ? 1 : 0);
+  for (int i = 0; i < 6; ++i) {
+    d(("attr_request_share" + std::to_string(i)).c_str(),
+      m.request_stage_share[static_cast<std::size_t>(i)]);
+    d(("attr_reply_share" + std::to_string(i)).c_str(),
+      m.reply_stage_share[static_cast<std::size_t>(i)]);
+  }
+  u("attr_violations", m.attr_violations);
+  // The bottleneck label can hold spaces; hex-encode it so the token-based
+  // parser stays one `name value` pair per line ("-" = empty).
+  os << "bottleneck_hex ";
+  if (m.bottleneck.empty()) {
+    os << '-';
+  } else {
+    static const char* kHex = "0123456789abcdef";
+    for (const unsigned char c : m.bottleneck) {
+      os << kHex[c >> 4] << kHex[c & 0xF];
+    }
+  }
+  os << '\n';
   return os.str();
 }
 
@@ -218,6 +238,24 @@ std::optional<Metrics> deserialize_metrics(const std::string& text) {
         want_d("energy_dynamic_mem_nj", m.energy.dynamic_mem_nj) ||
         want_d("energy_dynamic_core_nj", m.energy.dynamic_core_nj) ||
         want_d("energy_static_nj", m.energy.static_nj);
+    if (!matched && name == "attr_enabled") {
+      m.attr_enabled = value != "0";
+      ++fields;
+      matched = true;
+    }
+    if (!matched) matched = want_u("attr_violations", m.attr_violations);
+    if (!matched && name == "bottleneck_hex") {
+      m.bottleneck.clear();
+      if (value != "-") {
+        if (value.size() % 2 != 0) return std::nullopt;
+        for (std::size_t i = 0; i + 1 < value.size(); i += 2) {
+          const char hx[3] = {value[i], value[i + 1], 0};
+          m.bottleneck += static_cast<char>(std::strtoul(hx, nullptr, 16));
+        }
+      }
+      ++fields;
+      matched = true;
+    }
     if (!matched) {
       for (int i = 0; i < 4 && !matched; ++i) {
         matched = want_u(("flits_by_type" + std::to_string(i)).c_str(),
@@ -228,10 +266,19 @@ std::optional<Metrics> deserialize_metrics(const std::string& text) {
                          m.latency_p99_by_type[i]);
       }
     }
+    if (!matched) {
+      for (int i = 0; i < 6 && !matched; ++i) {
+        matched =
+            want_d(("attr_request_share" + std::to_string(i)).c_str(),
+                   m.request_stage_share[static_cast<std::size_t>(i)]) ||
+            want_d(("attr_reply_share" + std::to_string(i)).c_str(),
+                   m.reply_stage_share[static_cast<std::size_t>(i)]);
+      }
+    }
     if (!matched) return std::nullopt;  // Unknown field: stale layout.
   }
-  // 60 scalar fields + 12 array slots; anything short is a truncated entry.
-  if (fields != 72) return std::nullopt;
+  // 63 scalar fields + 24 array slots; anything short is a truncated entry.
+  if (fields != 87) return std::nullopt;
   return m;
 }
 

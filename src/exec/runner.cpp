@@ -11,6 +11,7 @@
 #include "core/watchdog.hpp"
 #include "exec/job_pool.hpp"
 #include "exec/result_cache.hpp"
+#include "obs/attr.hpp"
 #include "workloads/benchmark.hpp"
 
 namespace arinoc::exec {
@@ -78,18 +79,19 @@ std::string sanitize(const std::string& s) {
   return out.empty() ? std::string("cell") : out;
 }
 
-/// Writes one cell's telemetry series; returns the path, or "" on failure.
-std::string write_telemetry(const std::string& dir, const CellResult& r,
-                            const std::string& jsonl) {
+/// Writes one per-cell artifact (telemetry series, attribution report) under
+/// `dir` with the cell-identity file name; returns the path, "" on failure.
+std::string write_cell_artifact(const std::string& dir, const CellResult& r,
+                                const char* ext, const std::string& body) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return {};
   const std::string path = dir + "/" + sanitize(r.point) + "_" +
                            sanitize(r.scheme) + "_" + sanitize(r.benchmark) +
-                           ".jsonl";
+                           ext;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return {};
-  out << jsonl;
+  out << body;
   return out ? path : std::string{};
 }
 
@@ -145,11 +147,13 @@ std::vector<CellResult> ExperimentRunner::run(
         CellResult& r = results[i];
         const std::string key =
             cache_key_string(configs[i], r.scheme, r.benchmark, r.fabric);
-        // Sampling cells always simulate: a cache hit would return the
-        // aggregate Metrics but skip producing the telemetry series.
+        // Sampling and attribution cells always simulate: a cache hit would
+        // return the aggregate Metrics but skip producing the per-cell
+        // telemetry series / attribution report.
         const bool sampling = opts_.sample_interval > 0;
+        const bool attributing = !opts_.attr_dir.empty();
         std::optional<Metrics> cached;
-        if (!sampling) cached = cache.load(key);
+        if (!sampling && !attributing) cached = cache.load(key);
         if (cached) {
           r.metrics = *cached;
           r.from_cache = true;
@@ -162,6 +166,10 @@ std::vector<CellResult> ExperimentRunner::run(
             }
             GpgpuSim sim(configs[i], *traits, cells[i].da2mesh);
             if (sampling) sim.enable_sampling(opts_.sample_interval);
+            obs::LatencyAttributor attr(
+                opts_.attr_window > 0 ? opts_.attr_window
+                                      : obs::LatencyAttributor::kDefaultWindow);
+            if (attributing) sim.attach_attributor(&attr);
             sim.run_with_warmup();
             if (sampling) sim.flush_sampler();
             r.metrics = sim.collect();
@@ -169,11 +177,14 @@ std::vector<CellResult> ExperimentRunner::run(
               const std::string dir = opts_.telemetry_dir.empty()
                                           ? std::string("arinoc-telemetry")
                                           : opts_.telemetry_dir;
-              r.telemetry_path =
-                  write_telemetry(dir, r, sim.sampler()->to_jsonl());
-            } else {
-              cache.store(key, r.metrics);
+              r.telemetry_path = write_cell_artifact(
+                  dir, r, ".jsonl", sim.sampler()->to_jsonl());
             }
+            if (attributing) {
+              r.attr_path = write_cell_artifact(opts_.attr_dir, r, ".json",
+                                                attr.to_json() + "\n");
+            }
+            if (!sampling && !attributing) cache.store(key, r.metrics);
           } catch (const WatchdogTrip& trip) {
             record_error(r, watchdog_trip_name(trip.kind()), trip.what(),
                          trip.exit_status(), trip.dump());

@@ -38,6 +38,12 @@ struct ExecOptions {
   /// the result cache — a cache hit would skip producing the series.
   Cycle sample_interval = 0;
   std::string telemetry_dir;  ///< Empty = "arinoc-telemetry".
+  /// Latency attribution: non-empty attaches a LatencyAttributor to every
+  /// cell and writes each cell's report JSON into this directory. Like
+  /// sampling, attribution cells bypass the result cache — a cache hit
+  /// would return the aggregate Metrics but skip producing the report.
+  std::string attr_dir;
+  Cycle attr_window = 0;  ///< 0 = LatencyAttributor::kDefaultWindow.
 };
 
 /// One grid cell: (point label, scheme, benchmark) plus an optional config
@@ -69,6 +75,8 @@ struct CellResult {
   bool from_cache = false;
   /// Telemetry JSONL written for this cell (sampling enabled, run ok).
   std::string telemetry_path;
+  /// Attribution report JSON written for this cell (attr_dir set, run ok).
+  std::string attr_path;
 
   bool ok() const { return error.empty(); }
 };

@@ -5,6 +5,7 @@
 
 #include "noc/network.hpp"
 #include "noc/ni.hpp"
+#include "obs/attr.hpp"
 #include "obs/trace.hpp"
 
 namespace arinoc {
@@ -212,9 +213,17 @@ void RetransmitTracker::try_reinject(std::uint64_t key, Entry& e, Cycle now) {
   net_->arena().at(id).rtx = key;
   if (!ni_it->second->try_accept(id, now)) {
     net_->abandon_packet(id);  // NI full; retry next cycle.
-  } else if (obs::PacketTracer* t = net_->tracer()) {
+    return;
+  }
+  if (obs::PacketTracer* t = net_->tracer()) {
     t->record(obs::TraceEventKind::kRetransmit, net_->tracer_net(), now, id,
               e.type, e.src, static_cast<int>(e.retries));
+  }
+  if (obs::LatencyAttributor* a = net_->attributor()) {
+    // finish_accept already created the new incarnation's span at `now`;
+    // re-base it to the first incarnation's accept and book the recovery
+    // gap as retransmission overhead.
+    a->on_retransmit(net_->attr_net(), id, e.created, now);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/attr.hpp"
 #include "obs/trace.hpp"
 
 namespace arinoc {
@@ -105,6 +106,7 @@ void Network::finish_packet(PacketId id, Cycle now) {
     tracer_->record(obs::TraceEventKind::kDeliver, tracer_net_, now, id,
                     pkt.type, pkt.dest, -1);
   }
+  if (attr_) attr_->on_deliver(attr_net_, id, now);
   arena_.retire(id);
 }
 
@@ -132,6 +134,9 @@ void Network::step_router(NodeId n, Cycle now, std::size_t send_slot) {
         tracer_->record(obs::TraceEventKind::kLinkHop, tracer_net_, now,
                         ev.flit.pkt, type, n, of.out_dir);
       }
+    }
+    if (attr_ && ev.flit.head) {
+      attr_->on_link_depart(attr_net_, ev.flit.pkt, n, of.out_dir, now);
     }
     // Serdes (chiplet-boundary) links deliver extra cycles later; uniform
     // links land in send_slot itself, exactly as before.
@@ -194,6 +199,9 @@ void Network::step(Cycle now) {
   for (const FlitEvent& e : due_flits) {
     routers_[static_cast<std::size_t>(e.dst)]->receive_flit(e.in_dir, e.vc,
                                                             e.flit);
+    if (attr_ && e.flit.head) {
+      attr_->on_head_arrive(attr_net_, e.flit.pkt, e.dst, now);
+    }
   }
   due_flits.clear();
   auto& due_credits = credit_ring_[ring_pos_];
@@ -266,6 +274,7 @@ void Network::drop_packet(PacketId id, Cycle now, RxOutcome why) {
     tracer_->record(obs::TraceEventKind::kDrop, tracer_net_, now, id, pkt.type,
                     pkt.dest, static_cast<int>(why));
   }
+  if (attr_) attr_->on_drop(attr_net_, id, now);
   switch (why) {
     case RxOutcome::kCorrupt:
       ++stats_.packets_corrupted;
@@ -293,6 +302,12 @@ void Network::set_tracer(obs::PacketTracer* t, std::uint8_t net) {
   tracer_ = t;
   tracer_net_ = net;
   for (auto& r : routers_) r->set_tracer(t, net);
+}
+
+void Network::set_attributor(obs::LatencyAttributor* a, std::uint8_t net) {
+  attr_ = a;
+  attr_net_ = net;
+  for (auto& r : routers_) r->set_attributor(a, net);
 }
 
 std::uint64_t Network::internal_flits_total() const {

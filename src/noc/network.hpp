@@ -21,6 +21,7 @@ namespace arinoc {
 
 namespace obs {
 class PacketTracer;
+class LatencyAttributor;
 }
 
 /// Per-network geometry/behaviour knobs derived from Config by the caller
@@ -144,6 +145,16 @@ class Network {
   obs::PacketTracer* tracer() const { return tracer_; }
   std::uint8_t tracer_net() const { return tracer_net_; }
 
+  /// Attaches a latency attributor to this network and all its routers
+  /// (null detaches). Same observer contract as the tracer.
+  void set_attributor(obs::LatencyAttributor* a, std::uint8_t net);
+  obs::LatencyAttributor* attributor() const { return attr_; }
+  std::uint8_t attr_net() const { return attr_net_; }
+
+  /// Routers pending a step next cycle (activity-driven mode; the
+  /// self-profiler's wake statistic).
+  std::size_t routers_pending() const { return router_act_.pending(); }
+
   std::uint32_t num_internal_links() const { return num_internal_links_; }
   /// Total flits sent over router-to-router links (cumulative).
   std::uint64_t internal_flits_total() const;
@@ -208,6 +219,8 @@ class Network {
   // Observability (null unless attached; a pure observer).
   obs::PacketTracer* tracer_ = nullptr;
   std::uint8_t tracer_net_ = 0;
+  obs::LatencyAttributor* attr_ = nullptr;
+  std::uint8_t attr_net_ = 0;
 };
 
 }  // namespace arinoc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/attr.hpp"
 #include "obs/trace.hpp"
 
 namespace arinoc {
@@ -32,6 +33,10 @@ void InjectNi::finish_accept(PacketId id, Cycle now) {
   if (obs::PacketTracer* t = net_->tracer()) {
     t->record(obs::TraceEventKind::kNiEnqueue, net_->tracer_net(), now, id,
               net_->arena().at(id).type, node_, -1);
+  }
+  if (obs::LatencyAttributor* a = net_->attributor()) {
+    a->on_ni_enqueue(net_->attr_net(), id, net_->arena().at(id).type, node_,
+                     now);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/attr.hpp"
 #include "obs/trace.hpp"
 
 namespace arinoc {
@@ -90,6 +91,7 @@ void Router::inject_flit(std::uint32_t ip, std::uint32_t vc, const Flit& flit,
                       arena_->at(flit.pkt).type, params_.node,
                       static_cast<int>(vc));
     }
+    if (attr_) attr_->on_inject(attr_net_, flit.pkt, params_.node, now);
   }
   ++injected_flit_count_;
 }
@@ -249,6 +251,10 @@ void Router::vc_alloc_pass(Cycle now, std::uint32_t wanted_priority,
         tracer_->record(obs::TraceEventKind::kVcAlloc, tracer_net_, now,
                         v.buf.front().pkt, pkt.type, params_.node, got_port);
       }
+      if (attr_) {
+        attr_->on_vc_alloc(attr_net_, v.buf.front().pkt, params_.node,
+                           got_port, got_vc, now);
+      }
     }
   }
 }
@@ -308,6 +314,9 @@ void Router::switch_stage(Cycle now, std::vector<OutboundFlit>* out_flits,
       assert(!ejection_buf_.full());
       ejection_buf_.push(f);
       if (eject_set_) eject_set_->wake(eject_idx_);
+      if (attr_ && f.head) {
+        attr_->on_eject_start(attr_net_, f.pkt, params_.node, now);
+      }
       ++ejected_flit_count_;
       ++out_flit_count_[static_cast<std::size_t>(num_dirs_)];
     } else {

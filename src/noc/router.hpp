@@ -29,6 +29,7 @@ namespace arinoc {
 
 namespace obs {
 class PacketTracer;
+class LatencyAttributor;
 }
 
 struct RouterParams {
@@ -153,6 +154,13 @@ class Router {
     tracer_net_ = net;
   }
 
+  /// Attaches a latency attributor (null detaches). Same contract as the
+  /// tracer: pure observer, one null-pointer branch per hook when detached.
+  void set_attributor(obs::LatencyAttributor* a, std::uint8_t net) {
+    attr_ = a;
+    attr_net_ = net;
+  }
+
   // ---- Stats ----
   std::uint64_t flits_sent(int out_dir) const { return out_flit_count_[static_cast<std::size_t>(out_dir)]; }
   std::uint64_t flits_injected() const { return injected_flit_count_; }
@@ -240,6 +248,8 @@ class Router {
 
   obs::PacketTracer* tracer_ = nullptr;
   std::uint8_t tracer_net_ = 0;
+  obs::LatencyAttributor* attr_ = nullptr;
+  std::uint8_t attr_net_ = 0;
 
   // Activity-driven stepping (null hooks = always-on mode).
   ActiveSet* act_set_ = nullptr;

@@ -1,0 +1,229 @@
+// Self-contained HTML dashboard for a LatencyAttributor: fabric drawn as an
+// SVG with per-link congestion heat, a time slider over the attribution
+// windows, and the top-k bottleneck table. Everything (data + script) is
+// inlined so the file opens from disk with no server and no network.
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/attr.hpp"
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+
+namespace arinoc::obs {
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string attr_html_document(const LatencyAttributor& attr,
+                               const topo::FabricGraph* graph,
+                               std::size_t top_k) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+        "<title>arinoc latency attribution</title>\n<style>\n"
+        "body{font-family:system-ui,sans-serif;margin:16px;background:#fafafa}"
+        "\nh1{font-size:18px}h2{font-size:15px}\n"
+        "table{border-collapse:collapse;font-size:13px}\n"
+        "td,th{border:1px solid #ccc;padding:3px 8px;text-align:left}\n"
+        "th{background:#eee}\n"
+        ".bar{height:10px;background:#c33;display:inline-block}\n"
+        "#fabric{background:#fff;border:1px solid #ccc}\n"
+        ".node{fill:#888;stroke:#333}.mc{fill:#d62}.cc{fill:#68a}"
+        ".rtr{fill:#aaa}\n"
+        ".lbl{font-size:9px;fill:#222;text-anchor:middle}\n"
+        "#meta{color:#555;font-size:13px}\n"
+        "</style>\n</head>\n<body>\n<h1>arinoc latency attribution</h1>\n";
+
+  os << "<p id=\"meta\">window = " << attr.window_cycles()
+     << " cycles &middot; delivered = " << attr.delivered()
+     << " &middot; dropped = " << attr.dropped()
+     << " &middot; conservation violations = "
+     << attr.conservation_violations() << "</p>\n";
+
+  // ---- Per-net stage totals ----
+  os << "<h2>Stage totals (delivered packets)</h2>\n<table>\n<tr><th>net"
+        "</th>";
+  for (std::size_t i = 0; i < kNumAttrStages; ++i) {
+    os << "<th>" << attr_stage_name(static_cast<AttrStage>(i)) << "</th>";
+  }
+  os << "<th>e2e</th></tr>\n";
+  for (std::uint8_t net = 0; net < 2; ++net) {
+    os << "<tr><td>" << (net == 0 ? "request" : "reply") << "</td>";
+    for (std::size_t i = 0; i < kNumAttrStages; ++i) {
+      os << "<td>" << attr.stage_total(net, static_cast<AttrStage>(i))
+         << "</td>";
+    }
+    os << "<td>" << attr.e2e_total(net) << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  // ---- Bottleneck table ----
+  const std::vector<BottleneckEntry> top = attr.bottlenecks(top_k);
+  os << "<h2>Top bottlenecks</h2>\n<table>\n<tr><th>#</th><th>location"
+        "</th><th>cycles</th><th>count</th><th>share</th><th></th></tr>\n";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const BottleneckEntry& e = top[i];
+    char pct[32];
+    std::snprintf(pct, sizeof pct, "%.1f%%", e.share * 100.0);
+    os << "<tr><td>" << (i + 1) << "</td><td>"
+       << html_escape(attr.entry_label(e)) << "</td><td>" << e.cycles
+       << "</td><td>" << e.count << "</td><td>" << pct
+       << "</td><td><span class=\"bar\" style=\"width:"
+       << static_cast<int>(e.share * 200.0) << "px\"></span></td></tr>\n";
+  }
+  os << "</table>\n";
+
+  // ---- Fabric heatmap with time slider ----
+  const std::vector<AttrWindowCell> series = attr.window_series();
+  std::uint32_t max_window = 0;
+  for (const AttrWindowCell& c : series) {
+    max_window = std::max(max_window, c.window);
+  }
+  if (graph != nullptr) {
+    const std::vector<std::pair<double, double>> pos =
+        topo::node_layout(*graph);
+    double minx = 0, miny = 0, maxx = 0, maxy = 0;
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      if (i == 0) {
+        minx = maxx = pos[i].first;
+        miny = maxy = pos[i].second;
+      } else {
+        minx = std::min(minx, pos[i].first);
+        maxx = std::max(maxx, pos[i].first);
+        miny = std::min(miny, pos[i].second);
+        maxy = std::max(maxy, pos[i].second);
+      }
+    }
+    const double scale = 70.0, pad = 40.0;
+    const double width = (maxx - minx) * scale + 2 * pad;
+    const double height = (maxy - miny) * scale + 2 * pad;
+    auto px = [&](std::size_t i) {
+      return (pos[i].first - minx) * scale + pad;
+    };
+    auto py = [&](std::size_t i) {
+      return (pos[i].second - miny) * scale + pad;
+    };
+
+    os << "<h2>Fabric heatmap (in-router wait per link)</h2>\n"
+          "<p>net <select id=\"net\"><option value=\"0\">request</option>"
+          "<option value=\"1\" selected>reply</option></select>\n"
+          " window <input type=\"range\" id=\"win\" min=\"0\" max=\""
+       << max_window << "\" value=\"0\"> <span id=\"winlbl\"></span>"
+          " <label><input type=\"checkbox\" id=\"all\" checked> all windows"
+          "</label></p>\n";
+    os << "<svg id=\"fabric\" width=\"" << static_cast<int>(width)
+       << "\" height=\"" << static_cast<int>(height) << "\">\n";
+    // Links first (under the nodes). One line per directed link; heat is
+    // applied by the script via a data-link key "node:port".
+    for (const topo::GraphLink& l : graph->links) {
+      const std::size_t a = static_cast<std::size_t>(l.src);
+      const std::size_t b = static_cast<std::size_t>(l.dst);
+      if (a >= pos.size() || b >= pos.size()) continue;
+      os << "<line class=\"link\" data-k=\"" << l.src << ":" << l.src_port
+         << "\" x1=\"" << px(a) << "\" y1=\"" << py(a) << "\" x2=\""
+         << px(b) << "\" y2=\"" << py(b)
+         << "\" stroke=\"#ddd\" stroke-width=\"2\"><title></title></line>\n";
+    }
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      const topo::NodeRole r = graph->roles[i];
+      const char* cls = r == topo::NodeRole::kMC
+                            ? "mc"
+                            : (r == topo::NodeRole::kCC ? "cc" : "rtr");
+      os << "<circle class=\"node " << cls << "\" data-n=\"" << i
+         << "\" cx=\"" << px(i) << "\" cy=\"" << py(i)
+         << "\" r=\"9\"><title></title></circle>\n"
+         << "<text class=\"lbl\" x=\"" << px(i) << "\" y=\""
+         << py(i) + 3.5 << "\">" << topo::role_name(r) << i << "</text>\n";
+    }
+    os << "</svg>\n";
+  } else {
+    os << "<p>(no fabric graph attached; heatmap omitted)</p>\n";
+  }
+
+  // ---- Inline data + script ----
+  os << "<script>\nconst SERIES = [";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const AttrWindowCell& c = series[i];
+    os << (i ? "," : "") << "[" << c.window << ","
+       << static_cast<int>(c.net) << "," << c.node << "," << c.port << ","
+       << c.vc << "," << static_cast<int>(c.type) << "," << c.vc_wait << ","
+       << c.sw_wait << "," << c.count << "]";
+  }
+  os << "];\n";
+  os << R"JS(
+// SERIES rows: [window, net, node, port, vc, type, vc_wait, sw_wait, count].
+// Heat per link = (vc_wait + sw_wait) summed over VCs and types for the
+// selected net and window (or all windows); port -1 = ejection, drawn on
+// the node itself.
+const netSel = document.getElementById('net');
+const winSel = document.getElementById('win');
+const winLbl = document.getElementById('winlbl');
+const allChk = document.getElementById('all');
+function heat(t, max) {
+  // white -> yellow -> red
+  const f = max > 0 ? t / max : 0;
+  const g = Math.round(255 * (1 - Math.max(0, f - 0.5) * 2));
+  const b = Math.round(255 * Math.max(0, 1 - f * 2));
+  return 'rgb(255,' + g + ',' + b + ')';
+}
+function render() {
+  if (!netSel) return;
+  const net = +netSel.value;
+  const all = allChk.checked;
+  const win = +winSel.value;
+  winSel.disabled = all;
+  winLbl.textContent = all ? '' : 'w' + win;
+  const linkTot = {}, nodeTot = {};
+  let max = 0;
+  for (const r of SERIES) {
+    if (r[1] !== net) continue;
+    if (!all && r[0] !== win) continue;
+    const t = r[6] + r[7];
+    if (r[3] >= 0) {
+      const k = r[2] + ':' + r[3];
+      linkTot[k] = (linkTot[k] || 0) + t;
+      max = Math.max(max, linkTot[k]);
+    } else {
+      nodeTot[r[2]] = (nodeTot[r[2]] || 0) + t;
+    }
+  }
+  for (const el of document.querySelectorAll('.link')) {
+    const t = linkTot[el.dataset.k] || 0;
+    el.setAttribute('stroke', t > 0 ? heat(t, max) : '#ddd');
+    el.setAttribute('stroke-width', t > 0 ? 2 + 4 * (t / max) : 2);
+    el.querySelector('title').textContent =
+        el.dataset.k + ': ' + t + ' wait cycles';
+  }
+  for (const el of document.querySelectorAll('.node')) {
+    const t = nodeTot[el.dataset.n] || 0;
+    el.setAttribute('stroke-width', t > 0 ? 3 : 1);
+    el.setAttribute('stroke', t > 0 ? '#c00' : '#333');
+    el.querySelector('title').textContent =
+        'node ' + el.dataset.n + ': ' + t + ' ejection-side wait cycles';
+  }
+}
+if (netSel) {
+  netSel.onchange = winSel.oninput = allChk.onchange = render;
+  render();
+}
+)JS";
+  os << "</script>\n</body>\n</html>\n";
+  return os.str();
+}
+
+}  // namespace arinoc::obs

@@ -1,0 +1,103 @@
+#include "obs/selfprof.hpp"
+
+#include <sstream>
+
+namespace arinoc::obs {
+
+const char* prof_phase_name(ProfPhase p) {
+  switch (p) {
+    case ProfPhase::kFrontend: return "frontend";
+    case ProfPhase::kCores: return "cores";
+    case ProfPhase::kMcs: return "mcs";
+    case ProfPhase::kInjectNi: return "inject_ni";
+    case ProfPhase::kNetworks: return "networks";
+    case ProfPhase::kEjectNi: return "eject_ni";
+    case ProfPhase::kSampling: return "sampling";
+    case ProfPhase::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+const char* prof_group_name(ProfGroup g) {
+  switch (g) {
+    case ProfGroup::kCores: return "cores";
+    case ProfGroup::kMcs: return "mcs";
+    case ProfGroup::kInjectNis: return "inject_nis";
+    case ProfGroup::kEjectNis: return "eject_nis";
+    case ProfGroup::kRouters: return "routers";
+  }
+  return "?";
+}
+
+SelfProfiler::SelfProfiler(Cycle epoch_cycles)
+    : epoch_(epoch_cycles == 0 ? kDefaultEpoch : epoch_cycles) {}
+
+void SelfProfiler::on_cycle_end(Cycle now) {
+  if (!started_) {
+    // First observed cycle anchors the epoch grid (warmup resets shift it).
+    epoch_start_ = now - (now % epoch_);
+    started_ = true;
+  }
+  if (now + 1 >= epoch_start_ + epoch_) {
+    cur_.index = epochs_.size();
+    cur_.start_cycle = epoch_start_;
+    cur_.end_cycle = now + 1;
+    epochs_.push_back(cur_);
+    cur_ = Epoch{};
+    epoch_start_ = now + 1;
+  }
+}
+
+void SelfProfiler::finish(Cycle now) {
+  if (!started_ || now <= epoch_start_) return;
+  bool any = false;
+  for (const std::uint64_t c : cur_.calls) any = any || c != 0;
+  for (const std::uint64_t c : cur_.capacity) any = any || c != 0;
+  if (!any) return;
+  cur_.index = epochs_.size();
+  cur_.start_cycle = epoch_start_;
+  cur_.end_cycle = now;
+  epochs_.push_back(cur_);
+  cur_ = Epoch{};
+  epoch_start_ = now;
+}
+
+std::string SelfProfiler::to_jsonl() const {
+  std::ostringstream os;
+  for (const Epoch& e : epochs_) {
+    os << "{\"schema\": \"arinoc-selfprof-v1\", \"epoch\": " << e.index
+       << ", \"start_cycle\": " << e.start_cycle
+       << ", \"end_cycle\": " << e.end_cycle << ", \"cycles\": "
+       << (e.end_cycle - e.start_cycle) << ", \"wall_ns\": {";
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kNumProfPhases; ++i) {
+      os << (i ? ", " : "") << '"'
+         << prof_phase_name(static_cast<ProfPhase>(i))
+         << "\": " << e.wall_ns[i];
+      total += e.wall_ns[i];
+    }
+    os << "}, \"wall_ns_total\": " << total << ", \"awake\": {";
+    for (std::size_t i = 0; i < kNumProfGroups; ++i) {
+      os << (i ? ", " : "") << '"'
+         << prof_group_name(static_cast<ProfGroup>(i))
+         << "\": " << e.awake[i];
+    }
+    os << "}, \"capacity\": {";
+    for (std::size_t i = 0; i < kNumProfGroups; ++i) {
+      os << (i ? ", " : "") << '"'
+         << prof_group_name(static_cast<ProfGroup>(i))
+         << "\": " << e.capacity[i];
+    }
+    os << "}}\n";
+  }
+  return os.str();
+}
+
+void SelfProfiler::clear() {
+  epochs_.clear();
+  cur_ = Epoch{};
+  started_ = false;
+  epoch_start_ = 0;
+}
+
+}  // namespace arinoc::obs

@@ -33,6 +33,7 @@ struct Span {
   Cycle inject = 0;
   bool has_enqueue = false;
   bool has_inject = false;
+  bool retx = false;  ///< Span is a recovery re-injection of a lost packet.
   std::int16_t src = -1;
 };
 
@@ -151,7 +152,8 @@ std::string PacketTracer::to_chrome_json() const {
 
 std::vector<PacketTracer::Breakdown> PacketTracer::breakdown() const {
   std::vector<Breakdown> out(4);
-  std::vector<double> queue_sum(4, 0.0), transit_sum(4, 0.0);
+  std::vector<double> queue_sum(4, 0.0), transit_sum(4, 0.0),
+      retx_sum(4, 0.0);
   std::unordered_map<std::uint64_t, Span> spans;
   for (const TraceEvent& e : events()) {
     const std::uint64_t key = span_key(e.net, e.pkt);
@@ -178,7 +180,13 @@ std::vector<PacketTracer::Breakdown> PacketTracer::breakdown() const {
             it->second.has_inject) {
           const Span& s = it->second;
           queue_sum[t] += static_cast<double>(s.inject - s.enqueue);
-          transit_sum[t] += static_cast<double>(e.cycle - s.inject);
+          // A retransmitted span's entire transit is recovery overhead: the
+          // first incarnation already crossed the network once, so without
+          // the fault this time would not exist. Booking it under `retx`
+          // keeps plain `transit` comparable between faulty and fault-free
+          // runs.
+          (s.retx ? retx_sum : transit_sum)[t] +=
+              static_cast<double>(e.cycle - s.inject);
           ++out[t].delivered;
           spans.erase(it);
         }
@@ -189,6 +197,9 @@ std::vector<PacketTracer::Breakdown> PacketTracer::breakdown() const {
         spans.erase(key);
         break;
       case TraceEventKind::kRetransmit:
+        // Recorded against the re-injected incarnation right after its
+        // kNiEnqueue, so the live span is the recovery copy.
+        spans[key].retx = true;
         ++out[t].retransmits;
         break;
       default:
@@ -201,6 +212,8 @@ std::vector<PacketTracer::Breakdown> PacketTracer::breakdown() const {
           queue_sum[t] / static_cast<double>(out[t].delivered);
       out[t].mean_transit_cycles =
           transit_sum[t] / static_cast<double>(out[t].delivered);
+      out[t].mean_retx_cycles =
+          retx_sum[t] / static_cast<double>(out[t].delivered);
     }
   }
   return out;
@@ -211,15 +224,18 @@ std::string PacketTracer::breakdown_report() const {
   std::ostringstream os;
   os << "packet latency breakdown (traced window; cycles)\n";
   char buf[160];
-  std::snprintf(buf, sizeof(buf), "%-14s %10s %12s %12s %8s %6s\n", "type",
-                "delivered", "queue(mean)", "transit(mean)", "retx", "drops");
+  std::snprintf(buf, sizeof(buf), "%-14s %10s %12s %12s %10s %8s %6s\n",
+                "type", "delivered", "queue(mean)", "transit(mean)",
+                "retx(mean)", "retx", "drops");
   os << buf;
   for (std::size_t t = 0; t < 4; ++t) {
     const Breakdown& b = rows[t];
-    std::snprintf(buf, sizeof(buf), "%-14s %10llu %12.1f %12.1f %8llu %6llu\n",
+    std::snprintf(buf, sizeof(buf),
+                  "%-14s %10llu %12.1f %12.1f %10.1f %8llu %6llu\n",
                   packet_type_name(static_cast<PacketType>(t)),
                   static_cast<unsigned long long>(b.delivered),
                   b.mean_queue_cycles, b.mean_transit_cycles,
+                  b.mean_retx_cycles,
                   static_cast<unsigned long long>(b.retransmits),
                   static_cast<unsigned long long>(b.drops));
     os << buf;

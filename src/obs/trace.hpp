@@ -14,8 +14,8 @@
 //    complete events (pid = network, tid = source node, ts/dur in cycles);
 //    hops, corruption, retransmissions and drops become "i" instant events.
 //  * breakdown_report() — per-PacketType latency decomposition (NI queueing
-//    vs network transit) plus retransmission counts, reconstructed from the
-//    event stream.
+//    vs network transit vs retransmission overhead) plus retransmission
+//    counts, reconstructed from the event stream.
 //  * tail_text(n) — the last n events as text, appended to watchdog trip
 //    dumps so a deadlock diagnosis shows what last moved.
 #pragma once
@@ -101,7 +101,13 @@ class PacketTracer {
     std::uint64_t delivered = 0;     ///< Packets with a full enqueue->deliver
                                      ///< span inside the window.
     double mean_queue_cycles = 0.0;  ///< NI enqueue -> router injection.
-    double mean_transit_cycles = 0.0;  ///< Injection -> delivery.
+    double mean_transit_cycles = 0.0;  ///< Injection -> delivery, first
+                                       ///< incarnations only.
+    double mean_retx_cycles = 0.0;  ///< Recovery re-injections' transit time
+                                    ///< (over all delivered packets of the
+                                    ///< type) — fault overhead, kept out of
+                                    ///< `transit` so faulty and fault-free
+                                    ///< runs stay comparable.
     std::uint64_t retransmits = 0;
     std::uint64_t drops = 0;
   };

@@ -70,6 +70,10 @@ FabricGraph make_torus_graph(std::uint32_t width, std::uint32_t height,
   const Mesh mesh(width, height, num_mcs, placement);
   FabricGraph g;
   g.kind = "torus";
+  // Grid-layout hint for rendering; Fabric ignores geometry for non-mesh
+  // kinds (they always go through the routing-table path).
+  g.mesh_width = width;
+  g.mesh_height = height;
   g.roles.resize(mesh.nodes());
   for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
     g.roles[static_cast<std::size_t>(n)] =
@@ -109,6 +113,9 @@ FabricGraph make_cmesh_graph(std::uint32_t width, std::uint32_t height,
   const Mesh hub_mesh(width, height, num_mcs, placement);
   FabricGraph g;
   g.kind = "cmesh";
+  // Hub-grid layout hint for rendering (leaves cluster around their hub).
+  g.mesh_width = width;
+  g.mesh_height = height;
   g.roles.assign(hubs + hubs * concentration, NodeRole::kCC);
   for (NodeId hub = 0; hub < static_cast<NodeId>(hubs); ++hub) {
     g.roles[static_cast<std::size_t>(hub)] = NodeRole::kRouter;
@@ -158,6 +165,9 @@ FabricGraph make_chiplet_graph(std::uint32_t chiplets_x,
   const Mesh mesh(gw, gh, num_mcs, placement);
   FabricGraph g;
   g.kind = "chiplet";
+  // Global-grid layout hint for rendering.
+  g.mesh_width = gw;
+  g.mesh_height = gh;
   g.roles.resize(mesh.nodes());
   for (NodeId n = 0; n < static_cast<NodeId>(mesh.nodes()); ++n) {
     g.roles[static_cast<std::size_t>(n)] =

@@ -1,0 +1,62 @@
+#include "topo/layout.hpp"
+
+#include <cmath>
+
+namespace arinoc::topo {
+
+std::vector<std::pair<double, double>> node_layout(const FabricGraph& g) {
+  const int n = g.num_nodes();
+  std::vector<std::pair<double, double>> pos(
+      static_cast<std::size_t>(n < 0 ? 0 : n));
+  if (n <= 0) return pos;
+
+  const std::uint32_t w = g.mesh_width;
+  const std::uint32_t h = g.mesh_height;
+  const std::uint32_t grid = w * h;
+
+  if (grid > 0 && static_cast<std::uint32_t>(n) == grid) {
+    // mesh / torus / chiplet: node id is row-major over the grid.
+    for (int i = 0; i < n; ++i) {
+      pos[static_cast<std::size_t>(i)] = {
+          static_cast<double>(static_cast<std::uint32_t>(i) % w),
+          static_cast<double>(static_cast<std::uint32_t>(i) / w)};
+    }
+    return pos;
+  }
+
+  if (grid > 0 && static_cast<std::uint32_t>(n) > grid &&
+      (static_cast<std::uint32_t>(n) - grid) % grid == 0) {
+    // cmesh: ids 0..grid-1 are hubs on the grid, then `conc` leaves per hub
+    // in id order. Hubs sit on a coarse grid; leaves ring their hub.
+    const std::uint32_t conc = (static_cast<std::uint32_t>(n) - grid) / grid;
+    constexpr double kHubSpacing = 3.0;
+    constexpr double kLeafRadius = 0.95;
+    for (std::uint32_t hub = 0; hub < grid; ++hub) {
+      const double hx = static_cast<double>(hub % w) * kHubSpacing;
+      const double hy = static_cast<double>(hub / w) * kHubSpacing;
+      pos[hub] = {hx, hy};
+      for (std::uint32_t k = 0; k < conc; ++k) {
+        const double ang =
+            2.0 * M_PI * static_cast<double>(k) / static_cast<double>(conc) -
+            M_PI / 2.0;
+        pos[grid + hub * conc + k] = {hx + kLeafRadius * std::cos(ang),
+                                      hy + kLeafRadius * std::sin(ang)};
+      }
+    }
+    return pos;
+  }
+
+  // File-driven / custom graphs: a circle keeps every link visible without
+  // needing a real embedding.
+  const double r = static_cast<double>(n) / (2.0 * M_PI) + 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double ang =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n) -
+        M_PI / 2.0;
+    pos[static_cast<std::size_t>(i)] = {r * std::cos(ang),
+                                        r * std::sin(ang)};
+  }
+  return pos;
+}
+
+}  // namespace arinoc::topo

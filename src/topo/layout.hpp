@@ -1,0 +1,18 @@
+// 2-D node coordinates for rendering a FabricGraph (HTML dashboards,
+// heatmaps). Purely cosmetic — never feeds routing or timing.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace arinoc::topo {
+
+/// One (x, y) position per node, in abstract layout units (callers scale to
+/// pixels). Grid placement when the graph carries geometry hints
+/// (mesh/torus/chiplet use the node grid; cmesh puts leaves in a ring
+/// around their hub); a circle for file-driven/custom graphs.
+std::vector<std::pair<double, double>> node_layout(const FabricGraph& g);
+
+}  // namespace arinoc::topo

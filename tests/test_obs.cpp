@@ -18,8 +18,12 @@
 #include "obs/trace.hpp"
 #include "workloads/benchmark.hpp"
 
+#include "json_checker.hpp"
+
 namespace arinoc {
 namespace {
+
+using testutil::valid_json;
 
 Config tiny_config() {
   Config cfg;
@@ -27,110 +31,6 @@ Config tiny_config() {
   cfg.run_cycles = 500;
   return cfg;
 }
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON validator: no dependency, strict enough to
-// catch the classic emitter bugs (trailing commas, unquoted keys, bad
-// number formats, unterminated strings).
-// ---------------------------------------------------------------------------
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : s_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default:  return number();
-    }
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;  // Skip the escaped character.
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // Closing quote.
-    return true;
-  }
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (std::isdigit(peek())) ++pos_;
-    if (peek() == '.') { ++pos_; while (std::isdigit(peek())) ++pos_; }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      while (std::isdigit(peek())) ++pos_;
-    }
-    return pos_ > start && std::isdigit(s_[pos_ - 1]);
-  }
-  bool literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
-    }
-    return true;
-  }
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  int peek() const { return pos_ < s_.size() ? s_[pos_] : -1; }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-bool valid_json(const std::string& text) { return JsonChecker(text).valid(); }
 
 TEST(JsonChecker, SanityOnKnownGoodAndBadInputs) {
   EXPECT_TRUE(valid_json(R"({"a":1,"b":[1,2.5e-3,"x"],"c":{"d":true}})"));
@@ -252,6 +152,48 @@ TEST(PacketTracer, BreakdownReconstructsQueueAndTransitSpans) {
   const std::string report = tracer.breakdown_report();
   EXPECT_NE(report.find("read_reply"), std::string::npos);
   EXPECT_NE(report.find("delivered"), std::string::npos);
+}
+
+TEST(PacketTracer, BreakdownBooksRetransmitTransitUnderRetx) {
+  obs::PacketTracer tracer(64);
+  // First incarnation of a reply: enqueued 10, injected 12, corrupted and
+  // dropped at 20.
+  tracer.record(obs::TraceEventKind::kNiEnqueue, 1, 10, 5,
+                PacketType::kReadReply, 2, -1);
+  tracer.record(obs::TraceEventKind::kInject, 1, 12, 5,
+                PacketType::kReadReply, 2, 0);
+  tracer.record(obs::TraceEventKind::kDrop, 1, 20, 5,
+                PacketType::kReadReply, 9, 1);
+  // Recovery incarnation (fresh packet id 6): the tracker re-enqueues it and
+  // tags it kRetransmit; its transit (30 -> 55 = 25 cycles) is fault
+  // overhead, not plain transit.
+  tracer.record(obs::TraceEventKind::kNiEnqueue, 1, 28, 6,
+                PacketType::kReadReply, 2, -1);
+  tracer.record(obs::TraceEventKind::kRetransmit, 1, 28, 6,
+                PacketType::kReadReply, 2, 1);
+  tracer.record(obs::TraceEventKind::kInject, 1, 30, 6,
+                PacketType::kReadReply, 2, 0);
+  tracer.record(obs::TraceEventKind::kDeliver, 1, 55, 6,
+                PacketType::kReadReply, 9, -1);
+  // An untouched packet keeps its transit in the plain column.
+  tracer.record(obs::TraceEventKind::kNiEnqueue, 1, 60, 7,
+                PacketType::kReadReply, 2, -1);
+  tracer.record(obs::TraceEventKind::kInject, 1, 61, 7,
+                PacketType::kReadReply, 2, 0);
+  tracer.record(obs::TraceEventKind::kDeliver, 1, 76, 7,
+                PacketType::kReadReply, 9, -1);
+
+  const auto rows = tracer.breakdown();
+  const auto& reply = rows[static_cast<std::size_t>(PacketType::kReadReply)];
+  EXPECT_EQ(reply.delivered, 2u);
+  EXPECT_EQ(reply.retransmits, 1u);
+  EXPECT_EQ(reply.drops, 1u);
+  // Means are over both delivered packets: retx (25+0)/2, transit (0+15)/2,
+  // queue (2+1)/2.
+  EXPECT_DOUBLE_EQ(reply.mean_retx_cycles, 12.5);
+  EXPECT_DOUBLE_EQ(reply.mean_transit_cycles, 7.5);
+  EXPECT_DOUBLE_EQ(reply.mean_queue_cycles, 1.5);
+  EXPECT_NE(tracer.breakdown_report().find("retx(mean)"), std::string::npos);
 }
 
 TEST(PacketTracer, ChromeJsonIsValidAndCarriesSpansAndInstants) {
