@@ -1,6 +1,10 @@
 #include "bench_util.hpp"
 
+#include <sstream>
+
 #include "exec/runner.hpp"
+#include "obs/regress/provenance.hpp"
+#include "obs/regress/trend.hpp"
 
 namespace arinoc::bench {
 
@@ -100,6 +104,17 @@ std::vector<SweepPoint> fabric_axis_points() {
          c.num_mcs = 4;
        }},
   };
+}
+
+std::string bench_json_stamp(const char* kind, const Config& base) {
+  obs::regress::Provenance p = obs::regress::collect_provenance();
+  p.config_hash = obs::regress::config_hash_hex(base);
+  p.seed = base.seed;
+  std::ostringstream os;
+  os << "  \"schema\": \"" << obs::regress::kBenchSchema << "\",\n"
+     << "  \"kind\": \"" << kind << "\",\n"
+     << "  \"provenance\": " << obs::regress::provenance_json(p) << ",\n";
+  return os.str();
 }
 
 bool apply_fabric(const std::string& fabric, Config& c) {

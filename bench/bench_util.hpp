@@ -68,4 +68,12 @@ std::vector<SweepPoint> fabric_axis_points();
 /// printing the known names to stderr) on an unknown fabric name.
 bool apply_fabric(const std::string& fabric, Config& c);
 
+/// Leading members for a stamped BENCH_*.json document — schema
+/// ("arinoc-bench-v1"), bench kind, and a full provenance block hashed over
+/// `base` — indented two spaces and ending with ",\n", ready to emit
+/// directly after the opening "{\n". Every bench JSON artifact carries this
+/// stamp so the trend ingester (tools/arinoc_regress) can reject foreign or
+/// stale files instead of silently trending them.
+std::string bench_json_stamp(const char* kind, const Config& base);
+
 }  // namespace arinoc::bench

@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
   TextTable t({"fabric", "XY-Base geo-IPC", "XY-ARI geo-IPC",
                "Ada-Base geo-IPC", "Ada-ARI geo-IPC", "ARI gain"});
   std::ostringstream json;
-  json << "{\n  \"quick\": " << (quick ? "true" : "false")
+  json << "{\n" << bench::bench_json_stamp("fabric_sweep", base)
+       << "  \"quick\": " << (quick ? "true" : "false")
        << ",\n  \"cells\": [\n";
   bool first_cell = true;
   std::ostringstream summary;

@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
 
   bool shape_ok = true;
   std::ostringstream js;
-  js << "{\n  \"fabric\": \"" << fabric << "\",\n  \"cells\": [\n";
+  js << "{\n" << bench::bench_json_stamp("fault_resilience", base)
+     << "  \"fabric\": \"" << fabric << "\",\n  \"cells\": [\n";
   bool first_cell = true;
   std::size_t cell = 0;
   for (const Scheme scheme : schemes) {

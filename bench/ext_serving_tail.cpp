@@ -103,7 +103,8 @@ int main(int argc, char** argv) {
 
   bool shape_ok = true;
   std::ostringstream js;
-  js << "{\n  \"quick\": " << (quick ? "true" : "false") << ",\n  \"fabric\": \""
+  js << "{\n" << bench::bench_json_stamp("serving_tail", base)
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n  \"fabric\": \""
      << fabric << "\",\n  \"pace\": \"constant:0.04\",\n  \"cells\": [\n";
   bool first_cell = true;
 

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/experiment.hpp"
 #include "core/gpgpu_sim.hpp"
 #include "core/report.hpp"
@@ -228,7 +229,8 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream js;
-  js << "{\n  \"quick\": " << (quick ? "true" : "false")
+  js << "{\n" << bench::bench_json_stamp("throughput", make_base_config())
+     << "  \"quick\": " << (quick ? "true" : "false")
      << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];

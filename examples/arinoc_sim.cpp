@@ -101,9 +101,31 @@
 //   bypass the result cache (the cache key covers the pace spec string, not
 //   pace-file contents).
 //
+//   Regression sentinel (see docs/observability.md):
+//     --baseline-write <dir>  anchor this cell: write its golden baseline
+//                             entry (deterministic JSON keyed by benchmark/
+//                             scheme/fabric/config-hash) under <dir>
+//     --baseline-check <dir>  compare this run against the anchored entry;
+//                             out-of-tolerance metric movement exits 7 with
+//                             a per-metric delta report on stderr
+//     --ignore-improvements   with --baseline-check: out-of-tolerance moves
+//                             in the good direction (IPC up, latency down)
+//                             do not fail
+//   Replay runs reject both baseline flags (exit 2): the canonical-config
+//   hash keying the store covers named benchmarks, not trace-file contents.
+//   --json output carries an "arinoc-provenance-v1" block (version, config
+//   hash, cell coordinates, host, wall time) alongside the metrics.
+//
+//   Every output path (--trace-out, --sample-out, --counters-out,
+//   --attr-out, --attr-html, --self-profile, --baseline-*) is checked up
+//   front: a parent directory that does not exist is a usage error (exit 2,
+//   clear message) before any simulation state is built.
+//
 //   Exit codes: 0 ok, 1 runtime error, 2 usage/config error,
 //               3 deadlock detected, 4 livelock detected,
-//               5 invariant violation detected, 6 SLO violated.
+//               5 invariant violation detected, 6 SLO violated,
+//               7 regression detected (--baseline-check).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -116,8 +138,12 @@
 #include "core/watchdog.hpp"
 #include "core/report.hpp"
 #include "exec/options.hpp"
+#include "exec/result_cache.hpp"
 #include "exec/runner.hpp"
 #include "obs/attr.hpp"
+#include "obs/regress/baseline.hpp"
+#include "obs/regress/compare.hpp"
+#include "obs/regress/provenance.hpp"
 #include "obs/registry.hpp"
 #include "obs/selfprof.hpp"
 #include "obs/trace.hpp"
@@ -297,6 +323,18 @@ bool require_readable(const std::string& path, const char* what) {
   return false;
 }
 
+/// Fail-fast parent-directory check for output files named on the command
+/// line: writing into a directory that does not exist must die with a clear
+/// usage error before any simulation state is built, not as a mid-run
+/// "cannot write" after minutes of simulation.
+bool require_parent_dir(const std::string& path, const char* flag) {
+  if (path.empty() || obs::regress::parent_dir_exists(path)) return true;
+  std::fprintf(stderr,
+               "error: %s '%s': parent directory '%s' does not exist\n", flag,
+               path.c_str(), obs::regress::parent_dir_of(path).c_str());
+  return false;
+}
+
 bool write_file(const std::string& path, const std::string& body) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (out) out << body;
@@ -378,6 +416,9 @@ int main(int argc, char** argv) {
   bool da2mesh = false;
   bool json = false;
   std::string emit_topology_path;
+  std::string baseline_write;  ///< --baseline-write dir ("" = off).
+  std::string baseline_check;  ///< --baseline-check dir ("" = off).
+  bool ignore_improvements = false;
   double slo_cycles = 0.0;  ///< 0 = no SLO check.
   ObsOptions obs = obs_from_env();
 
@@ -504,6 +545,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown placement '%s'\n", p.c_str());
         return 2;
       }
+    } else if (arg == "--baseline-write") {
+      baseline_write = value();
+    } else if (arg == "--baseline-check") {
+      baseline_check = value();
+    } else if (arg == "--ignore-improvements") {
+      ignore_improvements = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--list-benchmarks") {
@@ -521,6 +568,47 @@ int main(int argc, char** argv) {
   if (!obs.sample_out.empty() && exec_opts.sample_interval == 0) {
     std::fprintf(stderr, "--sample-out requires --sample-interval <n>\n");
     return 2;
+  }
+  if (!baseline_write.empty() && !baseline_check.empty()) {
+    std::fprintf(stderr,
+                 "--baseline-write and --baseline-check are mutually "
+                 "exclusive (anchor first, then check)\n");
+    return 2;
+  }
+  if ((!baseline_write.empty() || !baseline_check.empty()) &&
+      !replay_path.empty()) {
+    std::fprintf(stderr,
+                 "--baseline-write/--baseline-check do not support --replay: "
+                 "the canonical-config hash keying the golden store covers "
+                 "named benchmarks, not trace-file contents\n");
+    return 2;
+  }
+
+  // Fail fast on output paths: a parent directory that does not exist is a
+  // usage error (exit 2) caught before any simulation state is built.
+  if (!require_parent_dir(obs.trace_out, "--trace-out") ||
+      !require_parent_dir(obs.sample_out, "--sample-out") ||
+      !require_parent_dir(obs.counters_out, "--counters-out") ||
+      !require_parent_dir(obs.attr_out, "--attr-out") ||
+      !require_parent_dir(obs.attr_html, "--attr-html") ||
+      !require_parent_dir(obs.self_profile, "--self-profile") ||
+      !require_parent_dir(emit_topology_path, "--emit-topology")) {
+    return 2;
+  }
+  // --baseline-write creates its store directory (one level); its parent
+  // must exist. --baseline-check reads an existing store.
+  if (!baseline_write.empty() &&
+      !require_parent_dir(baseline_write, "--baseline-write")) {
+    return 2;
+  }
+  if (!baseline_check.empty()) {
+    if (!obs::regress::parent_dir_exists(baseline_check + "/x")) {
+      std::fprintf(stderr,
+                   "error: --baseline-check '%s': directory does not exist "
+                   "(anchor it first with --baseline-write)\n",
+                   baseline_check.c_str());
+      return 2;
+    }
   }
 
   // Fail fast on input files: a missing/unreadable trace or pace file is a
@@ -569,6 +657,11 @@ int main(int argc, char** argv) {
 
   Metrics m;
   std::string breakdown;
+  // Identity of the cell that actually ran — filled by every branch below,
+  // consumed by the provenance block (--json) and the baseline store.
+  Config resolved_cfg = cfg;
+  std::string fabric_tag;
+  const auto wall_start = std::chrono::steady_clock::now();
   if (!replay_path.empty()) {
     // Replay runs bypass the exec cache: the cache key covers named
     // benchmarks, not trace file contents.
@@ -578,6 +671,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
       return 2;
     }
+    resolved_cfg = replayed;
+    fabric_tag = da2mesh ? "da2mesh" : exec::fabric_cache_tag(replayed);
     try {
       Trace trace = Trace::load(replay_path);
       TraceFileSource source(std::move(trace), replayed.num_ccs(),
@@ -606,6 +701,8 @@ int main(int argc, char** argv) {
     }
     try {
       const Config resolved = resolve_cell_config(cfg, scheme, benchmark);
+      resolved_cfg = resolved;
+      fabric_tag = da2mesh ? "da2mesh" : exec::fabric_cache_tag(resolved);
       GpgpuSim sim(resolved, *traits, da2mesh);
       const int status =
           run_observed(sim, obs, exec_opts.sample_interval, m, breakdown);
@@ -627,8 +724,8 @@ int main(int argc, char** argv) {
     // watchdog trip as a structured per-cell error, and the result cache
     // replays unchanged configurations without re-simulating.
     exec::ExperimentRunner runner(cfg, exec_opts);
-    const auto results =
-        runner.run({{"cli", scheme, benchmark, nullptr, da2mesh}});
+    const exec::CellSpec spec{"cli", scheme, benchmark, nullptr, da2mesh};
+    const auto results = runner.run({spec});
     const exec::CellResult& r = results.at(0);
     if (!r.ok()) {
       std::fprintf(stderr, "%s\n%s", r.error.c_str(),
@@ -636,10 +733,66 @@ int main(int argc, char** argv) {
       return r.exit_status;
     }
     m = r.metrics;
+    resolved_cfg = runner.resolve(spec);  // Cannot throw: the cell ran.
+    fabric_tag = r.fabric;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Cell provenance: shared by the --json block and the baseline store.
+  obs::regress::Provenance prov = obs::regress::collect_provenance();
+  prov.config_hash = obs::regress::config_hash_hex(resolved_cfg);
+  prov.scheme = scheme_name(scheme);
+  prov.benchmark = replay_path.empty() ? benchmark : replay_path;
+  prov.fabric = fabric_tag;
+  prov.seed = resolved_cfg.seed;
+  prov.wall_s = wall_s;
+
+  if (!baseline_write.empty() || !baseline_check.empty()) {
+    obs::regress::BaselineEntry entry;
+    entry.provenance = prov;
+    entry.metrics = obs::regress::snapshot_metrics(m);
+    try {
+      if (!baseline_write.empty()) {
+        const std::string path =
+            obs::regress::write_baseline_entry(baseline_write, entry);
+        std::fprintf(stderr, "baseline anchored: %s\n", path.c_str());
+      } else {
+        const obs::regress::BaselineEntry anchored =
+            obs::regress::load_baseline_entry(baseline_check, entry);
+        obs::regress::CompareOptions copts;
+        copts.ignore_improvements = ignore_improvements;
+        const obs::regress::CompareReport report =
+            obs::regress::compare_entries(anchored, entry, copts);
+        if (report.failed) {
+          std::fprintf(stderr, "REGRESSION vs %s/%s:\n%s",
+                       baseline_check.c_str(), entry.file_name().c_str(),
+                       report.text().c_str());
+          return 7;
+        }
+        std::fprintf(stderr, "baseline check ok: %zu metrics within "
+                             "tolerance (%zu improved, %zu new)\n",
+                     entry.metrics.size(),
+                     report.count(obs::regress::Verdict::kImproved),
+                     report.count(obs::regress::Verdict::kNew));
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      // A missing anchor is a configuration error (the store does not
+      // cover this cell); write-side I/O failures are runtime errors.
+      return baseline_check.empty() ? 1 : 2;
+    }
   }
 
   if (json) {
-    std::printf("%s\n", metrics_to_json(m).c_str());
+    std::printf("%s\n",
+                metrics_to_json(m, 2, obs::regress::provenance_json(prov))
+                    .c_str());
   } else {
     std::printf("scheme: %s   workload: %s\n", scheme_name(scheme),
                 replay_path.empty() ? benchmark.c_str() : replay_path.c_str());

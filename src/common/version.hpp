@@ -5,6 +5,6 @@
 
 namespace arinoc {
 
-inline constexpr const char kArinocVersion[] = "0.6.0-attr";
+inline constexpr const char kArinocVersion[] = "0.7.0-regress";
 
 }  // namespace arinoc

@@ -53,11 +53,16 @@ std::string fmt_pct(double fraction, int precision) {
   return buf;
 }
 
-std::string metrics_to_json(const Metrics& m, int indent) {
+std::string metrics_to_json(const Metrics& m, int indent,
+                            const std::string& provenance_json) {
   std::ostringstream os;
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   const char* sep = "";
   os << "{\n";
+  if (!provenance_json.empty()) {
+    os << pad << "\"provenance\": " << provenance_json;
+    sep = ",\n";
+  }
   auto num = [&](const char* key, double v) {
     os << sep << pad << '"' << key << "\": ";
     // Emit integers without a fraction for cleanliness.

@@ -29,7 +29,12 @@ std::string fmt(double value, int precision = 3);
 std::string fmt_pct(double fraction, int precision = 1);
 
 /// Serializes a Metrics record as a flat JSON object (for scripting around
-/// the CLI driver). Stable key names; numbers only.
-std::string metrics_to_json(const Metrics& m, int indent = 2);
+/// the CLI driver). Stable key names; numbers only. `provenance_json` — a
+/// pre-rendered "arinoc-provenance-v1" object (see obs/regress/provenance) —
+/// is spliced in as the leading "provenance" member when non-empty; passing
+/// it pre-rendered keeps this layer free of an obs dependency and keeps
+/// provenance-free output byte-identical to earlier releases.
+std::string metrics_to_json(const Metrics& m, int indent = 2,
+                            const std::string& provenance_json = {});
 
 }  // namespace arinoc

@@ -12,6 +12,7 @@
 #include "exec/job_pool.hpp"
 #include "exec/result_cache.hpp"
 #include "obs/attr.hpp"
+#include "obs/regress/provenance.hpp"
 #include "workloads/benchmark.hpp"
 
 namespace arinoc::exec {
@@ -129,6 +130,7 @@ std::vector<CellResult> ExperimentRunner::run(
       runnable[i] = true;
       results[i].fabric =
           cells[i].da2mesh ? "da2mesh" : fabric_cache_tag(configs[i]);
+      results[i].config_hash = obs::regress::config_hash_hex(configs[i]);
     } catch (const std::invalid_argument& e) {
       record_error(results[i], "config", e.what(), 2);
     }

@@ -64,6 +64,11 @@ struct CellResult {
   /// fabric_cache_tag(resolved config) — e.g. "mesh", "torus",
   /// "file:<content-hash>".
   std::string fabric;
+  /// 16-hex FNV-1a-64 of the resolved config's canonical string — the same
+  /// canonical-config hash every "arinoc-provenance-v1" block carries.
+  /// Filled for every runnable cell, cache hits included (the hash keys the
+  /// cache, so a hit is by definition the same hash).
+  std::string config_hash;
   Metrics metrics;
 
   // Structured per-cell error. ok() == false leaves `metrics` zeroed.

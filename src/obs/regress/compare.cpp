@@ -1,0 +1,142 @@
+#include "obs/regress/compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace arinoc::obs::regress {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kMissing: return "MISSING";
+    case Verdict::kNew: return "new";
+  }
+  return "?";
+}
+
+std::size_t CompareReport::count(Verdict v) const {
+  std::size_t n = 0;
+  for (const MetricDelta& d : deltas) n += d.verdict == v ? 1 : 0;
+  return n;
+}
+
+std::string CompareReport::text(bool all) const {
+  TextTable t({"metric", "baseline", "candidate", "delta", "tol", "verdict"});
+  for (const MetricDelta& d : deltas) {
+    if (!all && d.verdict == Verdict::kOk) continue;
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.2f%%", d.rel * 100.0);
+    char tol[32];
+    std::snprintf(tol, sizeof(tol), "%.1f%%", d.tol * 100.0);
+    t.add_row({d.name, d.verdict == Verdict::kNew ? "-" : fmt(d.baseline, 6),
+               d.verdict == Verdict::kMissing ? "-" : fmt(d.candidate, 6),
+               d.verdict == Verdict::kMissing ? "-" : delta, tol,
+               verdict_name(d.verdict)});
+  }
+  std::ostringstream os;
+  if (t.columns() > 0) os << t.to_string();
+  os << (failed ? "RESULT: REGRESSION" : "RESULT: ok") << " ("
+     << count(Verdict::kRegressed) << " regressed, " << count(Verdict::kMissing)
+     << " missing, " << count(Verdict::kImproved) << " improved, "
+     << count(Verdict::kOk) << " within tolerance, " << count(Verdict::kNew)
+     << " new)\n";
+  return os.str();
+}
+
+CompareReport compare_metrics(
+    const std::vector<std::pair<std::string, double>>& baseline,
+    const std::vector<std::pair<std::string, double>>& candidate,
+    const CompareOptions& opts) {
+  CompareReport report;
+  auto find = [](const std::vector<std::pair<std::string, double>>& v,
+                 const std::string& name) -> const double* {
+    for (const auto& [n, val] : v) {
+      if (n == name) return &val;
+    }
+    return nullptr;
+  };
+
+  for (const auto& [name, base] : baseline) {
+    const MetricPolicy policy = metric_policy(name);
+    MetricDelta d;
+    d.name = name;
+    d.baseline = base;
+    d.direction = policy.direction;
+    d.tol = policy.rel_tol;
+    if (opts.default_tol >= 0.0) d.tol = opts.default_tol;
+    if (const auto it = opts.tol_override.find(name);
+        it != opts.tol_override.end()) {
+      d.tol = it->second;
+    }
+
+    const double* cand = find(candidate, name);
+    if (cand == nullptr) {
+      d.verdict = Verdict::kMissing;
+      report.failed = true;
+      report.deltas.push_back(d);
+      continue;
+    }
+    d.candidate = *cand;
+    // Relative delta against the baseline; absolute when the anchor is 0
+    // (a relative tolerance around zero would accept anything or nothing).
+    d.rel = base != 0.0 ? (d.candidate - base) / std::abs(base) : d.candidate;
+    // Tiny absolute slack so a delta mathematically *at* the tolerance
+    // (e.g. 1.01 vs 1.0 at 1%) is not pushed over by floating-point
+    // rounding of the division above.
+    const bool within = std::abs(d.rel) <= d.tol + 1e-12;
+    if (within) {
+      d.verdict = Verdict::kOk;
+    } else {
+      const bool worse =
+          policy.direction == MetricDirection::kNeutral ||
+          (policy.direction == MetricDirection::kHigherBetter && d.rel < 0) ||
+          (policy.direction == MetricDirection::kLowerBetter && d.rel > 0);
+      d.verdict = worse ? Verdict::kRegressed : Verdict::kImproved;
+      if (worse || !opts.ignore_improvements) report.failed = true;
+    }
+    report.deltas.push_back(d);
+  }
+
+  for (const auto& [name, val] : candidate) {
+    if (find(baseline, name) != nullptr) continue;
+    MetricDelta d;
+    d.name = name;
+    d.candidate = val;
+    d.verdict = Verdict::kNew;
+    report.deltas.push_back(d);
+  }
+  return report;
+}
+
+CompareReport compare_entries(const BaselineEntry& baseline,
+                              const BaselineEntry& candidate,
+                              const CompareOptions& opts) {
+  // Identity gate: comparing across configurations or simulator revisions
+  // produces deltas that mean nothing. Surface it as a failing synthetic
+  // delta so callers get one uniform report shape.
+  std::string mismatch;
+  if (baseline.provenance.config_hash != candidate.provenance.config_hash) {
+    mismatch = "config_hash " + baseline.provenance.config_hash + " vs " +
+               candidate.provenance.config_hash;
+  } else if (baseline.provenance.version != candidate.provenance.version) {
+    mismatch = "version " + baseline.provenance.version + " vs " +
+               candidate.provenance.version;
+  }
+  if (!mismatch.empty()) {
+    CompareReport report;
+    MetricDelta d;
+    d.name = "provenance (" + mismatch + " — re-anchor the baseline)";
+    d.verdict = Verdict::kMissing;
+    report.deltas.push_back(d);
+    report.failed = true;
+    return report;
+  }
+  return compare_metrics(baseline.metrics, candidate.metrics, opts);
+}
+
+}  // namespace arinoc::obs::regress

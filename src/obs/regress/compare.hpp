@@ -1,0 +1,88 @@
+// Noise-aware, direction-aware metric comparison for the regression
+// sentinel.
+//
+// Each metric is judged by its MetricPolicy (see baseline.hpp): a relative
+// tolerance and a goodness direction. The rules:
+//
+//  * |delta| within tolerance              -> kOk.
+//  * out of tolerance, bad direction       -> kRegressed.
+//  * out of tolerance, good direction      -> kImproved. By default an
+//    improvement still FAILS the comparison — a golden store exists to pin
+//    numbers, and a 30% IPC jump you didn't expect deserves the same scrutiny
+//    as a drop (then an intentional re-anchor). --ignore-improvements relaxes
+//    this for perf-optimisation branches that expect to move the numbers one
+//    way.
+//  * metric in the baseline but not the candidate -> kMissing (always fails:
+//    a metric that vanished is a broken emitter, not an improvement).
+//  * metric in the candidate but not the baseline -> kNew (never fails; the
+//    report calls it out so the anchor can be refreshed).
+//
+// A zero-valued baseline makes a relative delta meaningless, so the
+// comparison degrades to absolute: |candidate| <= tolerance passes. That
+// keeps "this counter was 0 and must stay 0" cells honest (e.g. packets_lost
+// anchored at 0 regresses on the first loss).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/regress/baseline.hpp"
+
+namespace arinoc::obs::regress {
+
+enum class Verdict { kOk, kImproved, kRegressed, kMissing, kNew };
+
+const char* verdict_name(Verdict v);
+
+struct CompareOptions {
+  /// Per-metric relative-tolerance overrides (name -> tolerance); metrics
+  /// not listed use their MetricPolicy default.
+  std::map<std::string, double> tol_override;
+  /// Override every metric's tolerance (>= 0 enables). Applied before
+  /// per-metric overrides.
+  double default_tol = -1.0;
+  /// Out-of-tolerance changes in the good direction do not fail.
+  bool ignore_improvements = false;
+};
+
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel = 0.0;  ///< (candidate - baseline) / |baseline|; abs when 0.
+  double tol = 0.0;
+  MetricDirection direction = MetricDirection::kNeutral;
+  Verdict verdict = Verdict::kOk;
+};
+
+struct CompareReport {
+  std::vector<MetricDelta> deltas;
+  bool failed = false;  ///< Regression (per the options) detected.
+
+  std::size_t count(Verdict v) const;
+  /// Aligned per-metric delta table; `all` includes in-tolerance rows.
+  std::string text(bool all = false) const;
+};
+
+/// Compares candidate metrics against baseline metrics.
+CompareReport compare_metrics(
+    const std::vector<std::pair<std::string, double>>& baseline,
+    const std::vector<std::pair<std::string, double>>& candidate,
+    const CompareOptions& opts = {});
+
+/// Entry-level wrapper: also verifies the two entries describe the same
+/// cell/configuration (config hash + version); a mismatch fails with a
+/// synthetic "provenance" delta rather than comparing incomparable runs.
+CompareReport compare_entries(const BaselineEntry& baseline,
+                              const BaselineEntry& candidate,
+                              const CompareOptions& opts = {});
+
+/// Exit status for a comparison: 0 ok, 7 regression (the documented
+/// arinoc_sim / arinoc_regress contract).
+inline int compare_exit_status(const CompareReport& r) {
+  return r.failed ? 7 : 0;
+}
+
+}  // namespace arinoc::obs::regress

@@ -1,0 +1,77 @@
+// Minimal read-only JSON parser for the regression sentinel.
+//
+// The simulator *emits* JSON everywhere; the sentinel is the first subsystem
+// that must *read* it back (golden baseline entries, candidate metric files,
+// historical BENCH_*.json snapshots). This is a strict recursive-descent
+// parser over a value tree — objects preserve member order (so rewritten
+// documents stay diffable), numbers are kept both as doubles and as their
+// raw source text (so a load/store round trip of a "%.17g" baseline value is
+// byte-exact), and errors carry a line:column location so a truncated or
+// hand-edited file fails with a message worth reading.
+//
+// Not a general-purpose library: no \uXXXX decoding beyond pass-through, no
+// streaming, no mutation. Parsing a few-hundred-KB BENCH file is microseconds
+// against a multi-second simulation — clarity wins over speed here.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace arinoc::obs::regress {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  /// The number's exact source spelling (e.g. "1.1463749999999999").
+  const std::string& raw_number() const { return string_; }
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Convenience: member string value, or `fallback` when absent/not string.
+  std::string string_or(const std::string& key,
+                        const std::string& fallback = {}) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  ///< String value, or raw number text for numbers.
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;  ///< "line L col C: message" when !ok.
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+JsonParseResult json_parse(const std::string& text);
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace arinoc::obs::regress

@@ -1,0 +1,82 @@
+#include "obs/regress/provenance.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "common/version.hpp"
+#include "exec/result_cache.hpp"
+#include "obs/regress/json.hpp"
+
+#ifdef _WIN32
+#include <winsock.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace arinoc::obs::regress {
+
+std::string config_hash_hex(const Config& cfg) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    exec::fnv1a64(cfg.canonical_string())));
+  return buf;
+}
+
+Provenance collect_provenance() {
+  Provenance p;
+  p.version = kArinocVersion;
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0) p.host = host;
+#if defined(__linux__)
+  p.platform = "linux";
+#elif defined(__APPLE__)
+  p.platform = "darwin";
+#elif defined(_WIN32)
+  p.platform = "windows";
+#else
+  p.platform = "unknown";
+#endif
+  p.unix_time_s = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  p.wall_s = -1.0;
+  return p;
+}
+
+std::string provenance_json(const Provenance& p, bool deterministic) {
+  std::ostringstream os;
+  os << "{\"schema\": \"" << kProvenanceSchema << "\", \"version\": \""
+     << json_escape(p.version) << '"';
+  if (!p.config_hash.empty()) {
+    os << ", \"config_hash\": \"" << json_escape(p.config_hash) << '"';
+  }
+  if (!p.scheme.empty()) {
+    os << ", \"scheme\": \"" << json_escape(p.scheme) << '"';
+  }
+  if (!p.benchmark.empty()) {
+    os << ", \"benchmark\": \"" << json_escape(p.benchmark) << '"';
+  }
+  if (!p.fabric.empty()) {
+    os << ", \"fabric\": \"" << json_escape(p.fabric) << '"';
+  }
+  os << ", \"seed\": " << p.seed;
+  if (!deterministic) {
+    if (!p.host.empty()) os << ", \"host\": \"" << json_escape(p.host) << '"';
+    if (!p.platform.empty()) {
+      os << ", \"platform\": \"" << json_escape(p.platform) << '"';
+    }
+    os << ", \"unix_time_s\": " << p.unix_time_s;
+    if (p.wall_s >= 0.0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.3f", p.wall_s);
+      os << ", \"wall_s\": " << buf;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace arinoc::obs::regress

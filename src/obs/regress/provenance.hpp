@@ -1,0 +1,55 @@
+// Run provenance: every JSON artifact the simulator emits can carry an
+// "arinoc-provenance-v1" block identifying exactly which simulator produced
+// it from exactly which configuration, so downstream consumers (the golden
+// baseline store, the trend ingester, CI) can reject foreign or stale files
+// instead of silently comparing incomparable numbers.
+//
+// The block has two halves:
+//  * identity (always emitted): schema, library version, canonical-config
+//    hash, scheme/benchmark/fabric cell coordinates, seed. Deterministic —
+//    two runs of the same cell produce byte-identical identity halves, which
+//    is what lets the golden store demand byte-for-byte reproducibility.
+//  * environment (emitted unless `deterministic`): host name, platform,
+//    unix timestamp, run wall-clock seconds. Volatile by nature; baseline
+//    files omit it, CLI/bench artifacts include it so a regression report
+//    can say *where and when* the anchor was cut.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+
+namespace arinoc::obs::regress {
+
+inline constexpr const char kProvenanceSchema[] = "arinoc-provenance-v1";
+
+struct Provenance {
+  std::string version;      ///< kArinocVersion of the emitting binary.
+  std::string config_hash;  ///< 16-hex FNV-1a-64 of Config::canonical_string.
+  std::string scheme;       ///< Empty for aggregate (multi-cell) artifacts.
+  std::string benchmark;    ///< Empty for aggregate artifacts.
+  std::string fabric;       ///< Fabric tag ("mesh", "da2mesh", "file:<hash>").
+  std::uint64_t seed = 0;
+
+  // ---- Environment (volatile; omitted from deterministic renderings) ----
+  std::string host;
+  std::string platform;
+  std::uint64_t unix_time_s = 0;
+  double wall_s = 0.0;  ///< Run wall-clock seconds; < 0 = not measured.
+};
+
+/// 16-hex-digit FNV-1a-64 of the config's canonical string — the
+/// "canonical-config hash" every provenance block and baseline key carries.
+std::string config_hash_hex(const Config& cfg);
+
+/// Version + host/platform/time filled in; cell coordinates left empty.
+/// `wall_s` starts at -1 (not measured).
+Provenance collect_provenance();
+
+/// Renders the block as a single-line JSON object ("{...}", no trailing
+/// newline). `deterministic` drops the environment half — used for golden
+/// baseline files, which must rewrite byte-identically.
+std::string provenance_json(const Provenance& p, bool deterministic = false);
+
+}  // namespace arinoc::obs::regress

@@ -1,0 +1,278 @@
+// arinoc_regress — the regression-sentinel CLI.
+//
+//   arinoc_regress check --store <dir> --candidate <dir|file>
+//       [--ignore-improvements] [--default-tol <x>] [--tol <metric>=<x>]
+//       [--all]
+//
+//     Compares candidate golden-baseline entries (written by
+//     `arinoc_sim --baseline-write`) against the anchored store. The
+//     comparison is noise-aware and direction-aware: each metric is judged
+//     by its MetricPolicy tolerance and goodness direction (IPC falling is
+//     a regression, IPC jumping past tolerance is an *improvement* — which
+//     still fails unless --ignore-improvements, because unexplained 30%
+//     jumps deserve the same scrutiny as drops). A candidate cell with no
+//     anchor in the store is a configuration error: anchor it first.
+//
+//       --ignore-improvements   good-direction out-of-tolerance moves pass
+//       --default-tol <x>       override every metric's relative tolerance
+//       --tol <metric>=<x>      override one metric's tolerance
+//       --all                   print in-tolerance rows too
+//
+//   arinoc_regress trend --out-html <file> [--out-json <file>]
+//       <snapshot.json>...
+//
+//     Folds a history of stamped BENCH_*.json snapshots (oldest first; the
+//     command-line order is the time axis) into "arinoc-trend-v1" series
+//     and renders a self-contained HTML sparkline dashboard. Documents
+//     without the "arinoc-bench-v1" stamp are rejected with a clear error:
+//     trending a foreign or stale artifact against a fresh one is how
+//     silent regressions hide.
+//
+//   Exit codes: 0 ok, 1 runtime error, 2 usage/config error,
+//               7 regression detected (check).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/regress/baseline.hpp"
+#include "obs/regress/compare.hpp"
+#include "obs/regress/trend.hpp"
+
+using namespace arinoc::obs::regress;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: arinoc_regress check --store <dir> --candidate <dir|file>\n"
+      "           [--ignore-improvements] [--default-tol <x>]\n"
+      "           [--tol <metric>=<x>] [--all]\n"
+      "       arinoc_regress trend --out-html <file> [--out-json <file>]\n"
+      "           <snapshot.json>...\n");
+  return 2;
+}
+
+std::string slurp(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  *ok = in.good() || in.eof();
+  return os.str();
+}
+
+/// The .json entry files under `path` (sorted), or `path` itself when it
+/// names a file.
+std::vector<std::string> entry_files(const std::string& path, bool* ok) {
+  *ok = true;
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(path, ec)) return {path};
+  if (!std::filesystem::is_directory(path, ec)) {
+    std::fprintf(stderr, "error: '%s' is not a file or directory\n",
+                 path.c_str());
+    *ok = false;
+    return {};
+  }
+  std::vector<std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(path, ec)) {
+    if (e.path().extension() == ".json") files.push_back(e.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "error: cannot list '%s': %s\n", path.c_str(),
+                 ec.message().c_str());
+    *ok = false;
+    return {};
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int run_check(int argc, char** argv) {
+  std::string store, candidate;
+  CompareOptions opts;
+  bool all = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--store") {
+      store = value();
+    } else if (arg == "--candidate") {
+      candidate = value();
+    } else if (arg == "--ignore-improvements") {
+      opts.ignore_improvements = true;
+    } else if (arg == "--default-tol") {
+      opts.default_tol = std::strtod(value(), nullptr);
+      if (opts.default_tol < 0.0) {
+        std::fprintf(stderr, "--default-tol requires a value >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--tol") {
+      const std::string spec = value();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "malformed --tol '%s' (want <metric>=<x>)\n",
+                     spec.c_str());
+        return 2;
+      }
+      opts.tol_override[spec.substr(0, eq)] =
+          std::strtod(spec.c_str() + eq + 1, nullptr);
+    } else if (arg == "--all") {
+      all = true;
+    } else {
+      std::fprintf(stderr, "unknown check option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (store.empty() || candidate.empty()) return usage();
+
+  bool ok = true;
+  const std::vector<std::string> files = entry_files(candidate, &ok);
+  if (!ok) return 2;
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no candidate entries under '%s'\n",
+                 candidate.c_str());
+    return 2;
+  }
+
+  int worst = 0;
+  std::size_t regressed_cells = 0;
+  for (const std::string& file : files) {
+    bool read_ok = true;
+    const std::string text = slurp(file, &read_ok);
+    if (!read_ok) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", file.c_str());
+      return 1;
+    }
+    BaselineEntry cand;
+    try {
+      cand = parse_baseline_entry(text, file);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    const std::string cell = cand.provenance.benchmark + "/" +
+                             cand.provenance.scheme + "/" +
+                             cand.provenance.fabric;
+    BaselineEntry anchored;
+    try {
+      anchored = load_baseline_entry(store, cand);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", cell.c_str(), e.what());
+      worst = std::max(worst, 2);
+      continue;
+    }
+    const CompareReport report = compare_entries(anchored, cand, opts);
+    if (report.failed) {
+      ++regressed_cells;
+      std::printf("REGRESSED %s\n%s", cell.c_str(),
+                  report.text(all).c_str());
+      worst = std::max(worst, 7);
+    } else {
+      std::printf("ok        %s  (%zu metrics, %zu improved, %zu new)\n",
+                  cell.c_str(), report.deltas.size(),
+                  report.count(Verdict::kImproved),
+                  report.count(Verdict::kNew));
+      if (all) std::printf("%s", report.text(true).c_str());
+    }
+  }
+  if (worst == 7) {
+    std::fprintf(stderr, "regression detected in %zu/%zu cell(s)\n",
+                 regressed_cells, files.size());
+  }
+  return worst;
+}
+
+int run_trend(int argc, char** argv) {
+  std::string out_html, out_json;
+  std::vector<std::string> snapshots;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out-html") {
+      out_html = value();
+    } else if (arg == "--out-json") {
+      out_json = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown trend option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      snapshots.push_back(arg);
+    }
+  }
+  if (snapshots.empty() || (out_html.empty() && out_json.empty())) {
+    return usage();
+  }
+  for (const std::string* out : {&out_html, &out_json}) {
+    if (!out->empty() && !parent_dir_exists(*out)) {
+      std::fprintf(stderr,
+                   "error: parent directory '%s' of '%s' does not exist\n",
+                   parent_dir_of(*out).c_str(), out->c_str());
+      return 2;
+    }
+  }
+
+  TrendBuilder trend;
+  for (const std::string& path : snapshots) {
+    bool read_ok = true;
+    const std::string text = slurp(path, &read_ok);
+    if (!read_ok) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+      return 1;
+    }
+    try {
+      trend.add_snapshot_text(
+          std::filesystem::path(path).filename().string(), text);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  for (const auto& [path, body] :
+       {std::pair<std::string, std::string>{out_json, trend.to_json()},
+        {out_html, trend_html_document(trend)}}) {
+    if (path.empty()) continue;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) out << body;
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 1;
+    }
+  }
+  std::printf("trend: %zu snapshot(s), %zu series\n",
+              trend.snapshots().size(), trend.series().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "check") return run_check(argc - 2, argv + 2);
+  if (cmd == "trend") return run_trend(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
