@@ -13,6 +13,13 @@
 // < 5% budget (a warning, not a gate: shared CI machines are too noisy for
 // a hard wall-clock threshold).
 //
+// A third section sweeps the domain-decomposition thread matrix: every cell
+// at 1/2/4/8 network threads, byte-comparing each run's metrics against the
+// cell's 1-thread run (a hard gate) and reporting cycles/sec per point plus
+// the host's hardware concurrency (speedup is reported, not gated — a
+// 1-core CI runner cannot scale wall-clock no matter how correct the
+// decomposition is).
+//
 // Usage:
 //   perf_harness [--quick] [--out <file>]
 //
@@ -23,12 +30,14 @@
 // activity/always-on speedup, plus the geometric-mean speedup over all
 // cells and the attribution-overhead section. See docs/performance.md for
 // how to read it.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -108,6 +117,15 @@ std::string json_escape_name(const Cell& c) {
   if (c.fault) fabric += "+fault";
   return fabric;
 }
+
+/// One (cell, thread-count) point of the domain-decomposition matrix.
+struct ThreadResult {
+  Cell cell;
+  unsigned threads = 0;
+  double cps = 0.0;
+  double speedup = 0.0;    ///< vs the same cell at threads == 1.
+  bool identical = false;  ///< Metrics JSON byte-equal to the 1-thread run.
+};
 
 struct AttrResult {
   Cell cell;
@@ -228,6 +246,44 @@ int main(int argc, char** argv) {
     attr_results.push_back(a);
   }
 
+  // Domain-decomposition matrix: every cell at 1/2/4/8 network threads
+  // (activity-driven stepping, the production mode). Byte-identity against
+  // the cell's 1-thread run is the gate — parallelism is an implementation
+  // detail, never a model change. The speedups are reported, not gated:
+  // wall-clock scaling needs real cores, so hw_concurrency rides along and
+  // numbers from a 1-core CI runner honestly show ~1.0x (barrier overhead
+  // included). The overlay cell always steps serially (its endpoint
+  // coupling is not decomposable), so its rows are a serial control.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("\ndomain decomposition (threads x cells, hw_concurrency=%u):\n",
+              hw);
+  std::vector<ThreadResult> thread_results;
+  bool threads_identical = true;
+  for (const Cell& cell : cells) {
+    std::string base_json;
+    double base_cps = 0.0;
+    for (const unsigned t : {1u, 2u, 4u, 8u}) {
+      Config cfg = cell_config(cell, quick);
+      cfg.threads = t;
+      const auto run = timed_run(cell, cfg, /*activity=*/true);
+      ThreadResult r;
+      r.cell = cell;
+      r.threads = t;
+      r.cps = run.second;
+      if (t == 1) {
+        base_json = run.first;
+        base_cps = run.second;
+      }
+      r.speedup = run.second / std::max(base_cps, 1e-9);
+      r.identical = run.first == base_json;
+      threads_identical = threads_identical && r.identical;
+      std::printf("%-20s threads=%u %9.0f cyc/s  (%.2fx)%s\n",
+                  cell.name.c_str(), t, r.cps, r.speedup,
+                  r.identical ? "" : "  ** METRICS DIVERGED **");
+      thread_results.push_back(r);
+    }
+  }
+
   std::ostringstream js;
   js << "{\n" << bench::bench_json_stamp("throughput", make_base_config())
      << "  \"quick\": " << (quick ? "true" : "false")
@@ -258,6 +314,19 @@ int main(int argc, char** argv) {
        << ", \"attr_violations\": " << a.violations << "}"
        << (i + 1 < attr_results.size() ? "," : "") << "\n";
   }
+  js << "  ],\n  \"hw_concurrency\": " << hw
+     << ",\n  \"thread_matrix\": [\n";
+  for (std::size_t i = 0; i < thread_results.size(); ++i) {
+    const ThreadResult& r = thread_results[i];
+    js << "    {\"name\": \"" << r.cell.name << "\", \"workload\": \""
+       << r.cell.workload << "\", \"scheme\": \""
+       << scheme_name(r.cell.scheme) << "\", \"fabric\": \""
+       << json_escape_name(r.cell) << "\", \"threads\": " << r.threads
+       << ", \"cps\": " << std::llround(r.cps)
+       << ", \"speedup_vs_1t\": " << r.speedup << ", \"bit_identical\": "
+       << (r.identical ? "true" : "false") << "}"
+       << (i + 1 < thread_results.size() ? "," : "") << "\n";
+  }
   js << "  ]\n}\n";
   std::ofstream(out) << js.str();
   std::printf("wrote %s\n", out.c_str());
@@ -271,6 +340,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: latency attribution perturbed the simulation or "
                  "broke latency conservation\n");
+    return 1;
+  }
+  if (!threads_identical) {
+    std::fprintf(stderr,
+                 "FAIL: domain-parallel metrics diverged from the 1-thread "
+                 "run\n");
     return 1;
   }
   return 0;

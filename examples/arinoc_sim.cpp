@@ -75,6 +75,14 @@
 //     --no-activity           step every component every cycle instead of
 //                             only active ones (bit-identical results,
 //                             slower; see docs/performance.md)
+//     --threads <n>           network threads (spatial domain decomposition;
+//                             1 = serial, 0 = one per hardware core; results
+//                             are bit-identical across thread counts; n >
+//                             node count is a usage error; see
+//                             docs/performance.md). Env: ARINOC_THREADS.
+//     --domain-epoch          with --threads > 1: synchronize domains every
+//                             min-link-latency cycles instead of every cycle
+//                             (exact — delivery times are unchanged)
 //
 //   Watchdog (on by default):
 //     --no-watchdog           disable deadlock/livelock detection
@@ -523,6 +531,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-activity") {
       cfg.activity_driven = false;
+    } else if (arg == "--domain-epoch") {
+      cfg.domain_epoch = true;
     } else if (arg == "--no-watchdog") {
       cfg.watchdog_enabled = false;
     } else if (arg == "--watchdog-deadlock") {
@@ -564,6 +574,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Intra-simulation parallelism (--threads / ARINOC_THREADS, parsed by the
+  // shared exec flags above). Results are bit-identical across thread
+  // counts and `threads` is excluded from the canonical config hash, so
+  // result caches and baseline stores are shared with serial runs.
+  cfg.threads = exec_opts.threads;
 
   if (!obs.sample_out.empty() && exec_opts.sample_interval == 0) {
     std::fprintf(stderr, "--sample-out requires --sample-interval <n>\n");

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "exec/thread_team.hpp"
 #include "obs/attr.hpp"
 #include "obs/registry.hpp"
 #include "obs/selfprof.hpp"
@@ -290,6 +292,27 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
     watchdog_ = std::make_unique<Watchdog>(wp);
   }
 
+  // Domain-parallel network stepping: partition the fabric into one spatial
+  // domain per thread and spin up the persistent team. threads == 1 (the
+  // default) builds none of this and the serial path is untouched.
+  // threads == 0 auto-sizes to the host, clamped to the node count; an
+  // explicit count larger than the node count is a configuration error
+  // (partition_fabric throws). The DA2mesh overlay's same-cycle endpoint
+  // coupling is not decomposable, so overlay runs always step serially.
+  std::uint32_t threads = cfg.threads;
+  if (threads == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<std::uint32_t>(
+        hw, static_cast<std::uint32_t>(fabric_.nodes()));
+  }
+  if (threads > 1 && !overlay_) {
+    part_ = std::make_unique<topo::DomainPartition>(
+        topo::partition_fabric(fabric_, threads));
+    team_ = std::make_unique<exec::ThreadTeam>(threads);
+    request_net_->configure_domains(part_.get(), cfg.domain_epoch);
+    reply_net_->configure_domains(part_.get(), cfg.domain_epoch);
+  }
+
   // Activity-driven stepping: register every sleepable component in its
   // subsystem's active set and wire the wake edges (reply delivery -> core,
   // request delivery -> MC, packet accept -> injection NI, ejection-buffer
@@ -305,7 +328,11 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
       // every cycle), so only real cores register in the active set.
       if (i < cores_.size()) cores_[i]->set_activity_hook(&core_act_, i);
       request_inject_[i]->set_activity_hook(&req_inj_act_, i);
-      if (!overlay_) {
+      // Domain-parallel runs install no ejection hooks: routers would fire
+      // them from worker threads into the shared active sets. step() scans
+      // ejection buffers after the network phase instead, which produces
+      // the identical wake set (see the scan's comment).
+      if (!overlay_ && !team_) {
         reply_net_->set_eject_hook(cc_nodes[i], &rep_ej_act_, i);
       }
     }
@@ -317,7 +344,7 @@ void GpgpuSim::build(bool use_da2mesh, InstrSource* source) {
       if (reply_inject_[i]) {
         reply_inject_[i]->set_activity_hook(&rep_inj_act_, i);
       }
-      request_net_->set_eject_hook(mc_nodes[i], &req_ej_act_, i);
+      if (!team_) request_net_->set_eject_hook(mc_nodes[i], &req_ej_act_, i);
     }
     core_act_.wake_all();
     mc_act_.wake_all();
@@ -332,6 +359,18 @@ GpgpuSim::~GpgpuSim() = default;
 
 void GpgpuSim::step() {
   const Cycle now = cycle_;
+  // Domain mode can toggle per cycle: per-event observers (tracer,
+  // attributor) require the globally-ordered serial path; everything else
+  // steps the networks in parallel. set_domain_mode migrates in-flight
+  // ring and activity state both ways, so attaching or detaching an
+  // observer mid-run stays bit-identical with a pure serial run.
+  if (team_) {
+    const bool want = !tracer_ && !attr_;
+    if (want != request_net_->domains_enabled()) {
+      request_net_->set_domain_mode(want);
+      reply_net_->set_domain_mode(want);
+    }
+  }
   if (prof_) prof_->begin(obs::ProfPhase::kFrontend);
   // 0) Degradation FSM: one update per cycle from the reply-side pressure
   // signal (mean reply-NI queue occupancy as a fraction of capacity, plus
@@ -433,11 +472,24 @@ void GpgpuSim::step() {
       prof_->begin(obs::ProfPhase::kNetworks);
     }
     // 4) Networks advance one cycle (router active sets live inside).
-    request_net_->step(now);
-    if (overlay_) {
-      overlay_->step(now);
-    } else {
-      reply_net_->step(now);
+    step_networks(now);
+    if (team_) {
+      // No ejection hooks are installed in domain-parallel builds (routers
+      // would fire them from worker threads); scan the ejection buffers
+      // instead. The wake set is identical to the hook scheme's: a push in
+      // phase 4 leaves the buffer non-empty here, and a buffer left
+      // non-empty by a backlogged NI was already re-woken by the phase-5
+      // predicate below. wake() is idempotent, so overlap is harmless.
+      for (std::size_t i = 0; i < request_eject_.size(); ++i) {
+        if (request_net_->router(fabric_.mc_nodes()[i]).has_ejected_flit()) {
+          req_ej_act_.wake(i);
+        }
+      }
+      for (std::size_t i = 0; i < reply_eject_.size(); ++i) {
+        if (reply_net_->router(fabric_.cc_nodes()[i]).has_ejected_flit()) {
+          rep_ej_act_.wake(i);
+        }
+      }
     }
     if (prof_) {
       prof_->end(obs::ProfPhase::kNetworks);
@@ -484,12 +536,7 @@ void GpgpuSim::step() {
       prof_->begin(obs::ProfPhase::kNetworks);
     }
     // 4) Networks advance one cycle.
-    request_net_->step(now);
-    if (overlay_) {
-      overlay_->step(now);
-    } else {
-      reply_net_->step(now);
-    }
+    step_networks(now);
     if (prof_) {
       prof_->end(obs::ProfPhase::kNetworks);
       prof_->begin(obs::ProfPhase::kEjectNi);
@@ -559,6 +606,35 @@ void GpgpuSim::step() {
   if (prof_) {
     prof_->end(obs::ProfPhase::kWatchdog);
     prof_->on_cycle_end(now);
+  }
+}
+
+void GpgpuSim::step_networks(Cycle now) {
+  if (team_ && request_net_->domains_enabled()) {
+    // Fork-join over 2K tasks: K request-net domains + K reply-net domains,
+    // all independent (domains own disjoint routers; the two networks share
+    // nothing but the fabric graph, which is read-only). The serial
+    // begin/finish brackets handle fault scheduling, mailbox merging, and
+    // counter fold-in — see Network::step_begin/step_domain/step_finish.
+    request_net_->step_begin(now);
+    reply_net_->step_begin(now);
+    const std::uint32_t k = part_->num_domains;
+    team_->run(2 * static_cast<std::size_t>(k), [&](std::size_t i) {
+      if (i < k) {
+        request_net_->step_domain(static_cast<std::uint32_t>(i), now);
+      } else {
+        reply_net_->step_domain(static_cast<std::uint32_t>(i - k), now);
+      }
+    });
+    request_net_->step_finish(now);
+    reply_net_->step_finish(now);
+    return;
+  }
+  request_net_->step(now);
+  if (overlay_) {
+    overlay_->step(now);
+  } else {
+    reply_net_->step(now);
   }
 }
 

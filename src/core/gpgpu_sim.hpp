@@ -31,6 +31,10 @@
 
 namespace arinoc {
 
+namespace exec {
+class ThreadTeam;
+}
+
 namespace obs {
 class PacketTracer;
 class CounterRegistry;
@@ -223,6 +227,10 @@ class GpgpuSim {
   class McReplyPort;
 
   void build(bool use_da2mesh, InstrSource* source);
+  /// Phase 4 of step(): advances both networks one cycle — in parallel
+  /// across spatial domains when the thread team is active and no
+  /// per-event observer (tracer/attributor) forces the serial path.
+  void step_networks(Cycle now);
 
   Config cfg_;
   BenchmarkTraits traits_;
@@ -256,6 +264,15 @@ class GpgpuSim {
   std::vector<std::unique_ptr<EjectNi>> reply_eject_;      // Per CC.
 
   std::unique_ptr<Watchdog> watchdog_;
+
+  // ---- Domain-parallel network stepping (cfg.threads > 1) ----
+  /// Both non-null iff the resolved thread count exceeds 1 and the DA2mesh
+  /// overlay is not active (the overlay's single-cycle endpoint coupling is
+  /// not decomposable, so it always runs serial). The same partition drives
+  /// both networks: they share the fabric, so domain d owns the same router
+  /// set in each.
+  std::unique_ptr<topo::DomainPartition> part_;
+  std::unique_ptr<exec::ThreadTeam> team_;
 
   // ---- Activity-driven stepping (cfg.activity_driven) ----
   /// One active set per stepped subsystem; each is drained once per cycle

@@ -20,6 +20,9 @@ ExecOptions options_from_env(bool default_cache) {
   if (const char* jobs = std::getenv("ARINOC_JOBS")) {
     opts.jobs = static_cast<unsigned>(std::strtoul(jobs, nullptr, 10));
   }
+  if (const char* threads = std::getenv("ARINOC_THREADS")) {
+    opts.threads = static_cast<unsigned>(std::strtoul(threads, nullptr, 10));
+  }
   opts.cache_enabled = default_cache;
   if (std::getenv("ARINOC_NO_CACHE") != nullptr) opts.cache_enabled = false;
   if (const char* dir = std::getenv("ARINOC_CACHE_DIR")) opts.cache_dir = dir;
@@ -56,6 +59,16 @@ bool parse_exec_flags(int& argc, char** argv, ExecOptions& opts) {
         return false;
       }
       opts.jobs = static_cast<unsigned>(n);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      const char* v = value("--threads");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--threads expects a number, got '%s'\n", v);
+        return false;
+      }
+      opts.threads = static_cast<unsigned>(n);
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       opts.cache_enabled = false;
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
@@ -95,9 +108,9 @@ ExecOptions require_exec_flags(int argc, char** argv, bool default_cache) {
   if (!parse_exec_flags(argc, argv, opts)) std::exit(2);
   if (argc > 1) {
     std::fprintf(stderr,
-                 "unknown option '%s' (supported: --jobs N, --no-cache, "
-                 "--cache-dir D, --sample-interval N, --telemetry-dir D, "
-                 "--attr-dir D)\n",
+                 "unknown option '%s' (supported: --jobs N, --threads N, "
+                 "--no-cache, --cache-dir D, --sample-interval N, "
+                 "--telemetry-dir D, --attr-dir D)\n",
                  argv[1]);
     std::exit(2);
   }

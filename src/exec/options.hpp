@@ -3,6 +3,8 @@
 // dialect:
 //
 //   --jobs N             worker threads (0 = hardware concurrency)
+//   --threads N          network threads per simulation (1 = serial,
+//                        0 = auto; bit-identical across values)
 //   --no-cache           disable the on-disk result cache
 //   --cache-dir D        result-cache directory
 //   --sample-interval N  telemetry sample every N cycles (0 = off)
@@ -11,6 +13,7 @@
 //                        (setting it turns attribution on for every cell)
 //
 // Environment fallbacks (read first, flags override): ARINOC_JOBS,
+// ARINOC_THREADS,
 // ARINOC_NO_CACHE (any value), ARINOC_CACHE_DIR, ARINOC_SAMPLE_INTERVAL,
 // ARINOC_TELEMETRY_DIR, ARINOC_ATTR_DIR. Progress/ETA reporting defaults to
 // on when stderr is a terminal.

@@ -1,11 +1,13 @@
 #include "exec/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "core/experiment.hpp"
 #include "core/watchdog.hpp"
@@ -136,10 +138,37 @@ std::vector<CellResult> ExperimentRunner::run(
     }
   }
 
+  // Intra-simulation threads ride along on every resolved config, after the
+  // cache keys above were computed: `threads` is excluded from the canonical
+  // config string, so keys (and golden baselines) are identical across
+  // thread counts — as are the results themselves.
+  if (opts_.threads != 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (runnable[i]) configs[i].threads = opts_.threads;
+    }
+  }
+  // Cap the pool so jobs x per-simulation threads never oversubscribes the
+  // host: cell parallelism and domain parallelism compete for the same
+  // cores, and oversubscription just adds barrier jitter.
+  unsigned jobs = opts_.jobs;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned per_cell = opts_.threads == 0 ? hw : opts_.threads;
+  if (per_cell > 1) {
+    const unsigned want = jobs == 0 ? hw : jobs;
+    const unsigned capped = std::max(1u, hw / per_cell);
+    if (capped < want) {
+      std::fprintf(stderr,
+                   "exec: capping jobs %u -> %u (%u simulation threads per "
+                   "cell, %u hardware threads)\n",
+                   want, capped, per_cell, hw);
+      jobs = capped;
+    }
+  }
+
   // Phase 2 (parallel): each worker owns exactly one result slot.
   Progress progress(opts_.progress, cells.size());
   {
-    JobPool pool(opts_.jobs);
+    JobPool pool(jobs);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (!runnable[i]) {
         progress.tick(results[i]);

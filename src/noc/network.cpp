@@ -171,7 +171,240 @@ void Network::step_router(NodeId n, Cycle now, std::size_t send_slot) {
   }
 }
 
+void Network::configure_domains(const topo::DomainPartition* part,
+                                bool epoch_slack) {
+  assert(part && part->domain_of.size() ==
+                     static_cast<std::size_t>(fabric_->nodes()));
+  part_ = part;
+  dom_.clear();
+  dom_.resize(part->num_domains);
+  const std::size_t slots = flit_ring_.size();
+  for (std::uint32_t d = 0; d < part->num_domains; ++d) {
+    Domain& dom = dom_[d];
+    dom.members = part->members[d];
+    dom.flit_ring.resize(slots);
+    dom.credit_ring.resize(slots);
+    if (params_.activity_driven) dom.act.resize(dom.members.size());
+  }
+  // Epoch-slack merge period: the fastest boundary link still takes E
+  // cycles, so deferring merges to cycles c with c % E == E-1 always lands
+  // before the earliest staged delivery (staged at t, merged by t+E-1,
+  // delivered at t+lat >= t+E).
+  epoch_ = 1;
+  if (epoch_slack) {
+    epoch_ = base_link_latency_ +
+             (part->boundary.empty() ? 0 : part->min_boundary_extra);
+  }
+}
+
+void Network::set_domain_mode(bool enabled) {
+  if (enabled == domains_on_) return;
+  assert(part_ && "configure_domains first");
+  if (enabled) {
+    // Observer hook order is defined by the serial router schedule; the
+    // caller must detach (or fall back to serial stepping) first.
+    assert(!tracer_ && !attr_);
+    // Distribute in-flight ring state by destination domain. The per-slot
+    // scan is stable, so per-(dst, port) arrival order is preserved.
+    for (std::size_t s = 0; s < flit_ring_.size(); ++s) {
+      for (const FlitEvent& e : flit_ring_[s]) {
+        dom_[part_->domain_of[static_cast<std::size_t>(e.dst)]]
+            .flit_ring[s]
+            .push_back(e);
+      }
+      flit_ring_[s].clear();
+      for (const CreditEvent& e : credit_ring_[s]) {
+        dom_[part_->domain_of[static_cast<std::size_t>(e.dst)]]
+            .credit_ring[s]
+            .push_back(e);
+      }
+      credit_ring_[s].clear();
+    }
+    if (params_.activity_driven) {
+      for (NodeId n = 0; n < static_cast<NodeId>(fabric_->nodes()); ++n) {
+        const std::size_t sn = static_cast<std::size_t>(n);
+        routers_[sn]->set_activity_hook(&dom_[part_->domain_of[sn]].act,
+                                        part_->local_of[sn]);
+        if (router_act_.contains(sn)) {
+          dom_[part_->domain_of[sn]].act.wake(part_->local_of[sn]);
+        }
+      }
+      router_act_.clear();
+    }
+  } else {
+    // Merging ahead of schedule is exact: events sit in the destination
+    // ring until their slot fires.
+    merge_outboxes();
+    for (std::size_t s = 0; s < flit_ring_.size(); ++s) {
+      for (Domain& dom : dom_) {
+        flit_ring_[s].insert(flit_ring_[s].end(), dom.flit_ring[s].begin(),
+                             dom.flit_ring[s].end());
+        dom.flit_ring[s].clear();
+        credit_ring_[s].insert(credit_ring_[s].end(),
+                               dom.credit_ring[s].begin(),
+                               dom.credit_ring[s].end());
+        dom.credit_ring[s].clear();
+      }
+    }
+    if (params_.activity_driven) {
+      for (NodeId n = 0; n < static_cast<NodeId>(fabric_->nodes()); ++n) {
+        const std::size_t sn = static_cast<std::size_t>(n);
+        routers_[sn]->set_activity_hook(&router_act_, sn);
+        if (dom_[part_->domain_of[sn]].act.contains(part_->local_of[sn])) {
+          router_act_.wake(sn);
+        }
+      }
+      for (Domain& dom : dom_) dom.act.clear();
+    }
+  }
+  domains_on_ = enabled;
+}
+
+void Network::merge_outboxes() {
+  for (Domain& dom : dom_) {
+    for (const auto& [slot, e] : dom.out_flits) {
+      dom_[part_->domain_of[static_cast<std::size_t>(e.dst)]]
+          .flit_ring[slot]
+          .push_back(e);
+    }
+    dom.out_flits.clear();
+    for (const auto& [slot, e] : dom.out_credits) {
+      dom_[part_->domain_of[static_cast<std::size_t>(e.dst)]]
+          .credit_ring[slot]
+          .push_back(e);
+    }
+    dom.out_credits.clear();
+  }
+}
+
+void Network::step_router_domain(NodeId n, Cycle now, std::size_t send_slot,
+                                 Domain& dom) {
+  dom.scratch_flits.clear();
+  dom.scratch_credits.clear();
+  routers_[static_cast<std::size_t>(n)]->step(now, &dom.scratch_flits,
+                                              &dom.scratch_credits);
+  for (const OutboundFlit& of : dom.scratch_flits) {
+    const NodeId dst = fabric_->neighbor(n, of.out_dir);
+    assert(dst != kInvalidNode);
+    FlitEvent ev{dst, fabric_->peer_port(n, of.out_dir), of.out_vc, of.flit};
+    // corrupt_link is a const read of state drawn serially in step_begin;
+    // the corruption tally is staged per-domain and folded at the barrier.
+    if (fault_ && fault_->corrupt_link(n, of.out_dir)) {
+      ev.flit.corrupted = true;
+      ++dom.corrupted;
+    }
+    const std::size_t slot = slot_after(
+        send_slot,
+        base_link_latency_ + fabric_->link_extra_latency(n, of.out_dir));
+    Domain& dd = dom_[part_->domain_of[static_cast<std::size_t>(dst)]];
+    if (&dd == &dom) {
+      dom.flit_ring[slot].push_back(ev);
+    } else {
+      dom.out_flits.emplace_back(slot, ev);
+    }
+  }
+  for (const OutboundCredit& oc : dom.scratch_credits) {
+    const NodeId up = fabric_->neighbor(n, oc.in_dir);
+    assert(up != kInvalidNode);
+    const int up_dir = fabric_->peer_port(n, oc.in_dir);
+    // Credit-drop state for link (up, up_dir) is consumed only here — the
+    // domain owning the downstream router n — so the write is exclusive;
+    // only the injector's shared counter must be staged.
+    if (fault_ && fault_->take_credit_drop_uncounted(up, up_dir)) {
+      ++dom.credit_drops;
+      if (!credits_lost_.empty()) {
+        // Same exclusivity: this (up, up_dir, vc) entry belongs to link
+        // up->n, and only n's domain writes it.
+        ++credits_lost_[(static_cast<std::size_t>(up) *
+                             static_cast<std::size_t>(fabric_->max_ports()) +
+                         static_cast<std::size_t>(up_dir)) *
+                            params_.num_vcs +
+                        static_cast<std::size_t>(oc.vc)];
+      }
+      continue;
+    }
+    const std::size_t slot = slot_after(
+        send_slot,
+        base_link_latency_ + fabric_->link_extra_latency(n, oc.in_dir));
+    CreditEvent ev{up, up_dir, oc.vc};
+    Domain& dd = dom_[part_->domain_of[static_cast<std::size_t>(up)]];
+    if (&dd == &dom) {
+      dom.credit_ring[slot].push_back(ev);
+    } else {
+      dom.out_credits.emplace_back(slot, ev);
+    }
+  }
+}
+
+void Network::step_begin(Cycle now) {
+  if (fault_) {
+    fault_->begin_cycle(now);
+    for (const auto& [src, dir] : fault_->changed_links()) {
+      routers_[static_cast<std::size_t>(src)]->set_output_blocked(
+          dir, fault_->link_blocked(src, dir));
+      if (params_.activity_driven) {
+        const std::size_t sn = static_cast<std::size_t>(src);
+        dom_[part_->domain_of[sn]].act.wake(part_->local_of[sn]);
+      }
+    }
+  }
+}
+
+void Network::step_domain(std::uint32_t d, Cycle now) {
+  Domain& dom = dom_[d];
+  auto& due_flits = dom.flit_ring[ring_pos_];
+  for (const FlitEvent& e : due_flits) {
+    routers_[static_cast<std::size_t>(e.dst)]->receive_flit(e.in_dir, e.vc,
+                                                            e.flit);
+  }
+  due_flits.clear();
+  auto& due_credits = dom.credit_ring[ring_pos_];
+  for (const CreditEvent& e : due_credits) {
+    routers_[static_cast<std::size_t>(e.dst)]->receive_credit(e.out_dir, e.vc);
+  }
+  due_credits.clear();
+
+  const std::size_t send_slot = ring_pos_;
+  if (params_.activity_driven) {
+    dom.act.drain_sorted([&](std::size_t i) {
+      const NodeId n = dom.members[i];
+      step_router_domain(n, now, send_slot, dom);
+      if (routers_[static_cast<std::size_t>(n)]->buffered_flits_total() > 0) {
+        dom.act.wake(i);
+      }
+    });
+  } else {
+    for (const NodeId n : dom.members) {
+      step_router_domain(n, now, send_slot, dom);
+    }
+  }
+}
+
+void Network::step_finish(Cycle now) {
+  // Fold the per-domain stat staging every cycle: observers (watchdog,
+  // telemetry, collect()) read these between cycles.
+  for (Domain& dom : dom_) {
+    stats_.flits_corrupted += dom.corrupted;
+    dom.corrupted = 0;
+    if (fault_ && dom.credit_drops > 0) {
+      fault_->note_credits_dropped(dom.credit_drops);
+      dom.credit_drops = 0;
+    }
+  }
+  if (epoch_ <= 1 || now % epoch_ == epoch_ - 1) merge_outboxes();
+  if (++ring_pos_ == flit_ring_.size()) ring_pos_ = 0;
+  if (rtx_) rtx_->step(now);
+}
+
 void Network::step(Cycle now) {
+  if (domains_on_) {
+    step_begin(now);
+    for (std::uint32_t d = 0; d < part_->num_domains; ++d) {
+      step_domain(d, now);
+    }
+    step_finish(now);
+    return;
+  }
   // 0) Draw this cycle's fault events and push blocked-link transitions into
   // the affected upstream routers (fault-aware routing sees them during VA).
   // begin_cycle runs unconditionally every cycle so the fault RNG stream is
@@ -350,23 +583,35 @@ std::string Network::validate_credit_invariants() const {
       const Router& down = *routers_[static_cast<std::size_t>(v)];
       const int in_dir = fabric_->peer_port(u, dir);
       for (std::uint32_t vc = 0; vc < params_.num_vcs; ++vc) {
+        // In-flight events live in the global rings (serial mode), the
+        // per-domain rings (domain mode), or a domain outbox awaiting its
+        // epoch merge; all three are scanned so the audit holds in every
+        // stepping mode.
         std::uint32_t inflight_flits = 0;
         std::uint32_t inflight_credits = 0;
+        const auto match_flit = [&](const FlitEvent& e) {
+          if (e.dst == v && e.in_dir == in_dir && e.vc == static_cast<int>(vc))
+            ++inflight_flits;
+        };
+        const auto match_credit = [&](const CreditEvent& e) {
+          if (e.dst == u && e.out_dir == dir && e.vc == static_cast<int>(vc))
+            ++inflight_credits;
+        };
         for (const auto& slot : flit_ring_) {
-          for (const FlitEvent& e : slot) {
-            if (e.dst == v && e.in_dir == in_dir &&
-                e.vc == static_cast<int>(vc)) {
-              ++inflight_flits;
-            }
-          }
+          for (const FlitEvent& e : slot) match_flit(e);
         }
         for (const auto& slot : credit_ring_) {
-          for (const CreditEvent& e : slot) {
-            if (e.dst == u && e.out_dir == dir &&
-                e.vc == static_cast<int>(vc)) {
-              ++inflight_credits;
-            }
+          for (const CreditEvent& e : slot) match_credit(e);
+        }
+        for (const Domain& dom : dom_) {
+          for (const auto& slot : dom.flit_ring) {
+            for (const FlitEvent& e : slot) match_flit(e);
           }
+          for (const auto& slot : dom.credit_ring) {
+            for (const CreditEvent& e : slot) match_credit(e);
+          }
+          for (const auto& [slot, e] : dom.out_flits) match_flit(e);
+          for (const auto& [slot, e] : dom.out_credits) match_credit(e);
         }
         // Credits the fault injector destroyed on this link are accounted
         // loss, not a protocol bug: the usable depth shrank by that much.

@@ -16,6 +16,7 @@
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
 #include "topo/fabric.hpp"
+#include "topo/partition.hpp"
 
 namespace arinoc {
 
@@ -65,8 +66,46 @@ class Network {
   Network(const NetworkParams& params, const Mesh* mesh);
 
   /// Advances the network by one cycle: delivers in-flight flits/credits,
-  /// then steps every router.
+  /// then steps every router. With domain mode enabled this runs the
+  /// decomposed sequence (step_begin / every step_domain / step_finish)
+  /// serially — same results, no threads.
   void step(Cycle now);
+
+  // ---- Domain-parallel stepping (spatial decomposition) ----
+  //
+  // With a partition configured and domain mode enabled, one cycle becomes
+  //   step_begin(now);                    // serial: fault draw + blocked links
+  //   step_domain(d, now) for every d;    // parallel: domains are disjoint
+  //   step_finish(now);                   // serial: mailbox merge + barrier
+  // Each domain owns its routers, its slice of the link-pipeline rings, and
+  // its own ActiveSet; flits/credits crossing a boundary are staged into the
+  // source domain's outbox and merged into the destination domain's ring at
+  // step_finish, in ascending domain order. Within one ring slot every
+  // (router, input port) pair receives from exactly one upstream router, so
+  // the slot-internal order shuffle this introduces is unobservable and the
+  // results stay bit-identical to serial stepping for ANY partition (see
+  // docs/performance.md "Domain decomposition").
+
+  /// Attaches a partition (not owned; must outlive the network). With
+  /// epoch_slack, cross-domain merges happen only every E-th cycle where E =
+  /// base link latency + the minimum boundary serdes latency — exact because
+  /// an event staged at cycle t is merged by t+E-1, before its delivery at
+  /// t+lat >= t+E.
+  void configure_domains(const topo::DomainPartition* part, bool epoch_slack);
+  /// Toggles between the classic global rings and per-domain stepping,
+  /// migrating all in-flight ring/activity state (both directions are
+  /// exact). Requires no tracer/attributor while enabled: observer hook
+  /// order is defined by the serial router schedule.
+  void set_domain_mode(bool enabled);
+  bool domains_enabled() const { return domains_on_; }
+  std::uint32_t num_domains() const {
+    return part_ ? part_->num_domains : 0;
+  }
+  void step_begin(Cycle now);
+  /// Steps domain `d` for one cycle. Thread-safe against other domains of
+  /// the same cycle; everything it mutates is owned by domain d.
+  void step_domain(std::uint32_t d, Cycle now);
+  void step_finish(Cycle now);
 
   Router& router(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
   const Router& router(NodeId n) const {
@@ -153,7 +192,12 @@ class Network {
 
   /// Routers pending a step next cycle (activity-driven mode; the
   /// self-profiler's wake statistic).
-  std::size_t routers_pending() const { return router_act_.pending(); }
+  std::size_t routers_pending() const {
+    if (!domains_on_) return router_act_.pending();
+    std::size_t sum = 0;
+    for (const Domain& d : dom_) sum += d.act.pending();
+    return sum;
+  }
 
   std::uint32_t num_internal_links() const { return num_internal_links_; }
   /// Total flits sent over router-to-router links (cumulative).
@@ -183,10 +227,39 @@ class Network {
     int vc;
   };
 
+  /// One spatial domain's private stepping state. Everything here is
+  /// touched only by the thread running step_domain for this domain within
+  /// a cycle; the outboxes are drained serially at step_finish.
+  struct Domain {
+    std::vector<NodeId> members;  ///< Owned nodes, ascending.
+    ActiveSet act;                ///< Local indices into members.
+    /// This domain's slice of the link pipeline: events whose destination
+    /// router it owns. Same slot geometry as the global rings.
+    std::vector<std::vector<FlitEvent>> flit_ring;
+    std::vector<std::vector<CreditEvent>> credit_ring;
+    std::vector<OutboundFlit> scratch_flits;
+    std::vector<OutboundCredit> scratch_credits;
+    /// Cross-domain deliveries staged this epoch: (absolute ring slot,
+    /// event). The slot index is stable across the deferral because an
+    /// event's slot is never reached before its latency elapses.
+    std::vector<std::pair<std::size_t, FlitEvent>> out_flits;
+    std::vector<std::pair<std::size_t, CreditEvent>> out_credits;
+    // Stats staged thread-locally, folded at step_finish.
+    std::uint64_t corrupted = 0;
+    std::uint64_t credit_drops = 0;
+  };
+
   /// Takes ownership of a fabric built for this network (mesh-compat path).
   Network(const NetworkParams& params, std::unique_ptr<topo::Fabric> owned);
 
   void step_router(NodeId n, Cycle now, std::size_t send_slot);
+  /// step_router for domain mode: per-domain scratch, staged fault
+  /// counters, no observer hooks, cross-domain events go to the outbox.
+  void step_router_domain(NodeId n, Cycle now, std::size_t send_slot,
+                          Domain& dom);
+  /// Drains every domain's outboxes into the destination domains' rings,
+  /// in ascending domain order.
+  void merge_outboxes();
   /// Ring slot that delivers `lat` cycles after `send_slot` (lat is in
   /// [1, ring size]; lat == ring size lands back on send_slot itself, the
   /// uniform-latency fast path).
@@ -221,6 +294,11 @@ class Network {
   std::uint8_t tracer_net_ = 0;
   obs::LatencyAttributor* attr_ = nullptr;
   std::uint8_t attr_net_ = 0;
+  // Domain-parallel stepping (configure_domains / set_domain_mode).
+  const topo::DomainPartition* part_ = nullptr;
+  std::vector<Domain> dom_;
+  bool domains_on_ = false;
+  std::size_t epoch_ = 1;  ///< Outbox-merge period in cycles (1 = every).
 };
 
 }  // namespace arinoc

@@ -147,14 +147,19 @@ bool Router::output_ready_for_flit(int out_port, int out_vc) const {
 
 std::uint32_t Router::effective_priority(const InputVC& v, Cycle now) const {
   if (params_.priority_levels <= 1) return 0;
-  const Packet& pkt = arena_->at(v.buf.front().pkt);
   if (params_.starvation_threshold > 0 && v.wait_since > 0 &&
       now - v.wait_since > params_.starvation_threshold) {
     // §5: grant starving traffic the top level so injection packets cannot
     // monopolize the switch indefinitely.
     return params_.priority_levels - 1;
   }
-  return pkt.priority;
+  // Active VCs arbitrate with the priority latched at VC allocation. The
+  // live arena field may already have been decremented by a downstream
+  // router (the head flit runs ahead of the body); hardware would not see
+  // that — priority rides in the head flit — and not reading the arena here
+  // keeps switch arbitration domain-local under parallel stepping.
+  if (v.state == InputVC::State::kActive) return v.latched_priority;
+  return arena_->at(v.buf.front().pkt).priority;
 }
 
 void Router::route_stage(Cycle now) {
@@ -246,6 +251,7 @@ void Router::vc_alloc_pass(Cycle now, std::uint32_t wanted_priority,
       ovc(got_port, got_vc).owner = v.buf.front().pkt;
       v.out_port = got_port;
       v.out_vc = got_vc;
+      v.latched_priority = pkt.priority;
       v.state = InputVC::State::kActive;
       if (tracer_) {
         tracer_->record(obs::TraceEventKind::kVcAlloc, tracer_net_, now,

@@ -179,6 +179,12 @@ class Router {
     RouteCandidates route;
     Cycle wait_since = 0;
     bool route_valid = false;
+    /// Packet priority captured when this VC won its output VC. Active VCs
+    /// arbitrate with this latch: hardware sees the priority the head flit
+    /// carried through here, not later decrements by downstream routers —
+    /// and the latch keeps switch arbitration free of cross-router arena
+    /// reads under domain-parallel stepping.
+    std::uint32_t latched_priority = 0;
   };
   struct OutputVC {
     PacketId owner = kInvalidPacket;
